@@ -1,0 +1,549 @@
+//! The equivalence-class data plane model (a batch-mode APKeep).
+//!
+//! The model maintains one global partition of the packet header space
+//! into equivalence classes (ECs). Every *element* — a device's
+//! forwarding table, or an ACL binding — assigns each EC to exactly one
+//! logical *port* (an action). A rule insertion or deletion transfers a
+//! predicate's worth of packets between ports, splitting any EC that
+//! straddles the transferred predicate; the split is global, so the
+//! partition stays consistent across all elements.
+//!
+//! Batch mode (the paper's extension): a whole set of rule updates is
+//! applied under a chosen order, and the model reports the net set of
+//! affected ECs with their old and new actions — the input to the
+//! incremental policy checker.
+//!
+//! Precondition: an element never *persistently* holds two rules of
+//! equal priority whose matches overlap but whose actions differ — a
+//! FIB has one route per prefix (ECMP is one logical port), an ACL has
+//! unique sequence numbers. Transient duplicates mid-batch (a rule
+//! replacement applied insert-first) are fine.
+
+use rc_bdd::{Bdd, Ref};
+use rc_netcfg::types::Prefix;
+
+use crate::types::*;
+use std::collections::HashMap;
+
+struct StoredRule {
+    priority: u32,
+    rule_match: RuleMatch,
+    pred: Ref,
+    port: usize,
+}
+
+struct Element {
+    key: ElementKey,
+    /// Sorted by priority descending (ties by match/action for
+    /// determinism).
+    rules: Vec<StoredRule>,
+    /// Port actions; index is the port id within this element.
+    ports: Vec<PortAction>,
+    port_index: HashMap<PortAction, usize>,
+    /// Which port each EC is assigned to. Every live EC has an entry.
+    port_of_ec: HashMap<u32, usize>,
+    default_port: usize,
+}
+
+impl Element {
+    fn new(key: ElementKey, live_ecs: impl Iterator<Item = u32>) -> Self {
+        let default_action = match key {
+            ElementKey::Forward(_) => PortAction::Drop,
+            ElementKey::Filter(..) => PortAction::Permit,
+        };
+        let mut e = Element {
+            key,
+            rules: Vec::new(),
+            ports: Vec::new(),
+            port_index: HashMap::new(),
+            port_of_ec: HashMap::new(),
+            default_port: 0,
+        };
+        e.default_port = e.port_id(default_action);
+        for ec in live_ecs {
+            e.port_of_ec.insert(ec, e.default_port);
+        }
+        e
+    }
+
+    fn port_id(&mut self, action: PortAction) -> usize {
+        if let Some(&id) = self.port_index.get(&action) {
+            return id;
+        }
+        let id = self.ports.len();
+        self.ports.push(action.clone());
+        self.port_index.insert(action, id);
+        id
+    }
+}
+
+/// The data plane model. Owns the BDD manager and the global EC table.
+pub struct ApkModel {
+    bdd: Bdd,
+    /// `ec_preds[i]` is the predicate of EC `i`. Never empty, never
+    /// overlapping; their union is the full space.
+    ec_preds: Vec<Ref>,
+    elements: Vec<Element>,
+    element_index: HashMap<ElementKey, usize>,
+}
+
+impl Default for ApkModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ApkModel {
+    /// A fresh model: one EC covering the whole header space, no
+    /// elements.
+    pub fn new() -> Self {
+        ApkModel {
+            bdd: Bdd::new(),
+            ec_preds: vec![Ref::TRUE],
+            elements: Vec::new(),
+            element_index: HashMap::new(),
+        }
+    }
+
+    /// Number of live ECs.
+    pub fn num_ecs(&self) -> usize {
+        self.ec_preds.len()
+    }
+
+    /// Number of elements (devices' FIBs + ACL bindings seen so far).
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Total rules across all elements.
+    pub fn num_rules(&self) -> usize {
+        self.elements.iter().map(|e| e.rules.len()).sum()
+    }
+
+    /// The predicate of an EC.
+    pub fn ec_pred(&self, ec: EcId) -> Ref {
+        self.ec_preds[ec.0 as usize]
+    }
+
+    /// All live EC ids.
+    pub fn ecs(&self) -> impl Iterator<Item = EcId> + '_ {
+        (0..self.ec_preds.len() as u32).map(EcId)
+    }
+
+    /// The BDD manager (for witness extraction and custom predicates).
+    pub fn bdd(&mut self) -> &mut Bdd {
+        &mut self.bdd
+    }
+
+    /// The action an element applies to an EC. `None` when the element
+    /// does not exist (meaning: default behaviour — drop for FIBs,
+    /// permit for filters).
+    pub fn action(&self, key: ElementKey, ec: EcId) -> Option<&PortAction> {
+        let e = &self.elements[*self.element_index.get(&key)?];
+        Some(&e.ports[*e.port_of_ec.get(&ec.0).expect("live EC in every element")])
+    }
+
+    /// The rule a concrete packet matches at an element, in first-match
+    /// table order: `(priority, match, action)`. `None` when the packet
+    /// falls through to the element's default action (or the element
+    /// does not exist).
+    pub fn matching_rule(
+        &self,
+        key: ElementKey,
+        pkt: &rc_bdd::pkt::Packet,
+    ) -> Option<(u32, RuleMatch, PortAction)> {
+        let e = &self.elements[*self.element_index.get(&key)?];
+        for r in &e.rules {
+            if self.bdd.pkt_eval(r.pred, pkt) {
+                return Some((r.priority, r.rule_match, e.ports[r.port].clone()));
+            }
+        }
+        None
+    }
+
+    /// The EC containing a concrete packet.
+    pub fn ec_of_packet(&self, pkt: &rc_bdd::pkt::Packet) -> EcId {
+        for (i, &p) in self.ec_preds.iter().enumerate() {
+            if self.bdd.pkt_eval(p, pkt) {
+                return EcId(i as u32);
+            }
+        }
+        unreachable!("ECs partition the full space")
+    }
+
+    /// ECs whose predicate intersects `pred`.
+    pub fn ecs_intersecting(&mut self, pred: Ref) -> Vec<EcId> {
+        let mut out = Vec::new();
+        for i in 0..self.ec_preds.len() {
+            if !self.bdd.and(self.ec_preds[i], pred).is_false() {
+                out.push(EcId(i as u32));
+            }
+        }
+        out
+    }
+
+    fn compile(&mut self, m: RuleMatch) -> Ref {
+        use rc_bdd::pkt::Field;
+        let prefix_pred = |bdd: &mut Bdd, f: Field, p: Prefix| {
+            bdd.pkt_prefix(f, p.addr().0, p.len() as u32)
+        };
+        match m {
+            RuleMatch::DstPrefix(p) => prefix_pred(&mut self.bdd, Field::DstIp, p),
+            RuleMatch::Acl { proto, src, dst, dst_ports } => {
+                let mut acc = prefix_pred(&mut self.bdd, Field::SrcIp, src);
+                let d = prefix_pred(&mut self.bdd, Field::DstIp, dst);
+                acc = self.bdd.and(acc, d);
+                if let Some(pr) = proto {
+                    let p = self.bdd.pkt_value(Field::Proto, pr as u32);
+                    acc = self.bdd.and(acc, p);
+                }
+                if let Some((lo, hi)) = dst_ports {
+                    let r = self.bdd.pkt_range(Field::DstPort, lo as u32, hi as u32);
+                    acc = self.bdd.and(acc, r);
+                }
+                acc
+            }
+        }
+    }
+
+    fn element_id(&mut self, key: ElementKey) -> usize {
+        if let Some(&i) = self.element_index.get(&key) {
+            return i;
+        }
+        let i = self.elements.len();
+        self.elements.push(Element::new(key, 0..self.ec_preds.len() as u32));
+        self.element_index.insert(key, i);
+        i
+    }
+
+    /// Apply one batch of rule updates under `order`, returning the
+    /// batch summary with net affected ECs.
+    pub fn apply_batch(&mut self, mut updates: Vec<RuleUpdate>, order: UpdateOrder) -> BatchSummary {
+        match order {
+            UpdateOrder::InsertFirst => {
+                updates.sort_by_key(|u| !u.is_insert());
+            }
+            UpdateOrder::DeleteFirst => {
+                updates.sort_by_key(|u| u.is_insert());
+            }
+            UpdateOrder::AsGiven => {}
+        }
+        let mut tx = Batch::default();
+        for u in updates {
+            match u {
+                RuleUpdate::Insert(r) => self.insert_rule(r, &mut tx),
+                RuleUpdate::Remove(r) => self.remove_rule(r, &mut tx),
+            }
+            tx.rules += 1;
+        }
+        self.finish_batch(tx)
+    }
+
+    fn insert_rule(&mut self, rule: ModelRule, tx: &mut Batch) {
+        let pred = self.compile(rule.rule_match);
+        let eid = self.element_id(rule.element);
+        let port;
+        let hit;
+        {
+            let elem = &mut self.elements[eid];
+            port = elem.port_id(rule.action.clone());
+            // Packets this rule newly captures: its match minus
+            // higher-priority coverage.
+            let higher: Vec<Ref> = elem
+                .rules
+                .iter()
+                .filter(|r| r.priority > rule.priority)
+                .map(|r| r.pred)
+                .collect();
+            let mut h = pred;
+            for hp in higher {
+                h = self.bdd.diff(h, hp);
+                if h.is_false() {
+                    break;
+                }
+            }
+            hit = h;
+            let elem = &mut self.elements[eid];
+            let stored =
+                StoredRule { priority: rule.priority, rule_match: rule.rule_match, pred, port };
+            let pos = elem
+                .rules
+                .binary_search_by(|r| {
+                    (std::cmp::Reverse(r.priority), r.rule_match, &elem.ports[r.port])
+                        .cmp(&(std::cmp::Reverse(rule.priority), rule.rule_match, &rule.action))
+                })
+                .unwrap_or_else(|p| p);
+            elem.rules.insert(pos, stored);
+        }
+        self.transfer(eid, hit, port, tx);
+    }
+
+    fn remove_rule(&mut self, rule: ModelRule, tx: &mut Batch) {
+        let pred = self.compile(rule.rule_match);
+        let eid = self.element_id(rule.element);
+        // Locate and remove the stored rule.
+        let (hit, redistribution) = {
+            let elem = &mut self.elements[eid];
+            let pos = elem
+                .rules
+                .iter()
+                .position(|r| {
+                    r.priority == rule.priority
+                        && r.pred == pred
+                        && elem.ports[r.port] == rule.action
+                })
+                .unwrap_or_else(|| {
+                    panic!("removing a rule that is not in the model: {rule:?}")
+                });
+            elem.rules.remove(pos);
+            // What the rule was actually covering.
+            let higher: Vec<Ref> = elem
+                .rules
+                .iter()
+                .filter(|r| r.priority > rule.priority)
+                .map(|r| r.pred)
+                .collect();
+            let mut h = pred;
+            for hp in higher {
+                h = self.bdd.diff(h, hp);
+                if h.is_false() {
+                    break;
+                }
+            }
+            // Where those packets fall now: the remaining rules at
+            // lower (or equal) priority, in table order, then default.
+            let lower: Vec<(Ref, usize)> = elem
+                .rules
+                .iter()
+                .filter(|r| r.priority <= rule.priority)
+                .map(|r| (r.pred, r.port))
+                .collect();
+            (h, lower)
+        };
+        let mut rest = hit;
+        let mut moves: Vec<(Ref, usize)> = Vec::new();
+        for (rpred, rport) in redistribution {
+            if rest.is_false() {
+                break;
+            }
+            let take = self.bdd.and(rest, rpred);
+            if !take.is_false() {
+                moves.push((take, rport));
+                rest = self.bdd.diff(rest, take);
+            }
+        }
+        if !rest.is_false() {
+            let dp = self.elements[eid].default_port;
+            moves.push((rest, dp));
+        }
+        for (p, port) in moves {
+            self.transfer(eid, p, port, tx);
+        }
+    }
+
+    /// Move all packets of `pred` to `to_port` on element `eid`,
+    /// splitting straddling ECs.
+    fn transfer(&mut self, eid: usize, pred: Ref, to_port: usize, tx: &mut Batch) {
+        if pred.is_false() {
+            return;
+        }
+        // Track the part of `pred` not yet accounted for: once every
+        // packet of the predicate has been located (moved or already at
+        // the target), the scan can stop early — the common case is a
+        // prefix covering exactly one EC.
+        let mut remaining = pred;
+        let num_ecs = self.ec_preds.len();
+        for idx in 0..num_ecs {
+            if remaining.is_false() {
+                break;
+            }
+            let ec_pred = self.ec_preds[idx];
+            let inter = self.bdd.and(ec_pred, remaining);
+            if inter.is_false() {
+                continue;
+            }
+            remaining = self.bdd.diff(remaining, inter);
+            let cur = *self.elements[eid].port_of_ec.get(&(idx as u32)).expect("live EC");
+            if cur == to_port {
+                continue;
+            }
+            let moving = if inter == ec_pred {
+                idx as u32
+            } else {
+                self.split(idx as u32, inter, tx)
+            };
+            self.move_ec(eid, moving, to_port, tx);
+        }
+    }
+
+    /// Split EC `parent`: carve out `inter` (strictly smaller than the
+    /// parent's predicate) into a new EC placed on the same port as the
+    /// parent in every element. Returns the new EC id.
+    fn split(&mut self, parent: u32, inter: Ref, tx: &mut Batch) -> u32 {
+        let child = self.ec_preds.len() as u32;
+        let remainder = self.bdd.diff(self.ec_preds[parent as usize], inter);
+        debug_assert!(!remainder.is_false(), "split with nothing left in the parent");
+        self.ec_preds[parent as usize] = remainder;
+        self.ec_preds.push(inter);
+        for (eidx, elem) in self.elements.iter_mut().enumerate() {
+            let port = *elem.port_of_ec.get(&parent).expect("live EC");
+            elem.port_of_ec.insert(child, port);
+            // The child's pre-batch action is whatever the parent's
+            // was (the parent may itself have moved already).
+            if let Some(action) = tx.baseline.get(&(parent, eidx)) {
+                tx.baseline.insert((child, eidx), action.clone());
+            } else {
+                tx.baseline.insert((child, eidx), elem.ports[port].clone());
+            }
+        }
+        tx.splits.push((EcId(parent), EcId(child)));
+        child
+    }
+
+    fn move_ec(&mut self, eid: usize, ec: u32, to_port: usize, tx: &mut Batch) {
+        let elem = &mut self.elements[eid];
+        let from = elem.port_of_ec.insert(ec, to_port).expect("live EC");
+        debug_assert_ne!(from, to_port);
+        tx.baseline.entry((ec, eid)).or_insert_with(|| elem.ports[from].clone());
+        tx.moves += 1;
+    }
+
+    fn finish_batch(&mut self, tx: Batch) -> BatchSummary {
+        let mut affected = Vec::new();
+        for ((ec, eidx), old) in &tx.baseline {
+            let elem = &self.elements[*eidx];
+            let now = &elem.ports[*elem.port_of_ec.get(ec).expect("live EC")];
+            if now != old {
+                affected.push(AffectedEc {
+                    ec: EcId(*ec),
+                    element: elem.key,
+                    old: old.clone(),
+                    new: now.clone(),
+                });
+            }
+        }
+        affected.sort_by(|a, b| (a.ec, a.element).cmp(&(b.ec, b.element)));
+        BatchSummary {
+            affected,
+            ec_moves: tx.moves,
+            ec_splits: tx.splits.len(),
+            splits: tx.splits,
+            rules_applied: tx.rules,
+        }
+    }
+
+    /// Merge ECs that receive identical treatment at every element
+    /// (APKeep's minimality maintenance). Returns `(survivor,
+    /// absorbed)` pairs. Note: merged ids disappear — callers keeping
+    /// EC-keyed state must process the merge list.
+    pub fn merge_equivalent(&mut self) -> Vec<(EcId, EcId)> {
+        // Signature: the port assignment vector across elements.
+        let mut groups: HashMap<Vec<usize>, Vec<u32>> = HashMap::new();
+        for ec in 0..self.ec_preds.len() as u32 {
+            let sig: Vec<usize> =
+                self.elements.iter().map(|e| *e.port_of_ec.get(&ec).expect("live EC")).collect();
+            groups.entry(sig).or_default().push(ec);
+        }
+        let mut merges = Vec::new();
+        let mut dead: Vec<u32> = Vec::new();
+        for (_, mut group) in groups {
+            group.sort_unstable();
+            let survivor = group[0];
+            for &ec in &group[1..] {
+                let merged = self.bdd.or(self.ec_preds[survivor as usize], self.ec_preds[ec as usize]);
+                self.ec_preds[survivor as usize] = merged;
+                merges.push((EcId(survivor), EcId(ec)));
+                dead.push(ec);
+            }
+        }
+        // Compact the EC table: remove dead ids (descending swap-remove
+        // would renumber; instead rebuild preserving survivor ids by
+        // shifting — we renumber and report nothing further since this
+        // is an explicit maintenance call).
+        if !dead.is_empty() {
+            dead.sort_unstable();
+            let mut remap: HashMap<u32, u32> = HashMap::new();
+            let mut new_preds = Vec::with_capacity(self.ec_preds.len() - dead.len());
+            for ec in 0..self.ec_preds.len() as u32 {
+                if dead.binary_search(&ec).is_err() {
+                    remap.insert(ec, new_preds.len() as u32);
+                    new_preds.push(self.ec_preds[ec as usize]);
+                }
+            }
+            self.ec_preds = new_preds;
+            for elem in &mut self.elements {
+                let mut new_map = HashMap::with_capacity(remap.len());
+                for (&old, &new) in &remap {
+                    let port = *elem.port_of_ec.get(&old).expect("live EC");
+                    new_map.insert(new, port);
+                }
+                elem.port_of_ec = new_map;
+            }
+            // Report merges in terms of pre-compaction ids; callers are
+            // told ids are renumbered (documented) and should rebuild.
+        }
+        merges
+    }
+
+    /// Verify internal invariants (test support): EC predicates are
+    /// nonempty, pairwise disjoint, cover the space, and every element
+    /// assigns every EC to exactly one port consistent with its rule
+    /// table.
+    pub fn check_invariants(&mut self) {
+        let mut union = Ref::FALSE;
+        for i in 0..self.ec_preds.len() {
+            let p = self.ec_preds[i];
+            assert!(!p.is_false(), "EC {i} is empty");
+            assert!(self.bdd.and(union, p).is_false(), "EC {i} overlaps earlier ECs");
+            union = self.bdd.or(union, p);
+        }
+        assert!(union.is_true(), "ECs do not cover the space");
+
+        for eidx in 0..self.elements.len() {
+            let (rules, default, num_ports, assignments) = {
+                let e = &self.elements[eidx];
+                (
+                    e.rules.iter().map(|r| (r.pred, r.port)).collect::<Vec<_>>(),
+                    e.default_port,
+                    e.ports.len(),
+                    e.port_of_ec.clone(),
+                )
+            };
+            // First-match evaluation of the table over the whole space:
+            // the predicate each port should carry.
+            let mut port_pred = vec![Ref::FALSE; num_ports];
+            let mut remaining = Ref::TRUE;
+            for &(rp, rport) in &rules {
+                let covered = self.bdd.and(remaining, rp);
+                port_pred[rport] = self.bdd.or(port_pred[rport], covered);
+                remaining = self.bdd.diff(remaining, rp);
+            }
+            port_pred[default] = self.bdd.or(port_pred[default], remaining);
+
+            for ec in 0..self.ec_preds.len() {
+                let ec_pred = self.ec_preds[ec];
+                let port = *assignments
+                    .get(&(ec as u32))
+                    .unwrap_or_else(|| panic!("EC {ec} missing from element {eidx}"));
+                // The EC must lie entirely within its port's predicate
+                // (it may straddle individual rules as long as the
+                // resulting behaviour is uniform).
+                assert!(
+                    self.bdd.subset(ec_pred, port_pred[port]),
+                    "EC {ec} on wrong port at element {eidx}"
+                );
+            }
+        }
+    }
+}
+
+/// In-flight batch bookkeeping.
+#[derive(Default)]
+struct Batch {
+    /// Pre-batch action per (EC, element index), captured lazily before
+    /// the first move (and copied to split children).
+    baseline: HashMap<(u32, usize), PortAction>,
+    moves: usize,
+    splits: Vec<(EcId, EcId)>,
+    rules: usize,
+}

@@ -1,0 +1,237 @@
+//! Behavioural tests of the EC data plane model, including the paper's
+//! update-order effect (Table 3).
+
+use rc_apkeep::*;
+use rc_netcfg::facts::Dir;
+use rc_netcfg::types::{IfaceId, NodeId, Prefix};
+
+fn fwd(node: u32, prefix: &str, iface: u32) -> ModelRule {
+    let p: Prefix = prefix.parse().unwrap();
+    ModelRule {
+        element: ElementKey::Forward(NodeId(node)),
+        priority: p.len() as u32,
+        rule_match: RuleMatch::DstPrefix(p),
+        action: PortAction::forward(vec![IfaceId(iface)]),
+    }
+}
+
+#[test]
+fn insert_then_remove_returns_to_drop() {
+    let mut m = ApkModel::new();
+    let r = fwd(0, "10.0.0.0/8", 1);
+    m.apply_batch(vec![RuleUpdate::Insert(r.clone())], UpdateOrder::AsGiven);
+    m.check_invariants();
+    assert_eq!(m.num_ecs(), 2);
+
+    let s = m.apply_batch(vec![RuleUpdate::Remove(r)], UpdateOrder::AsGiven);
+    m.check_invariants();
+    assert_eq!(s.affected.len(), 1);
+    assert_eq!(s.affected[0].old, PortAction::forward(vec![IfaceId(1)]));
+    assert_eq!(s.affected[0].new, PortAction::Drop);
+    // The EC table never shrinks without an explicit merge.
+    assert_eq!(m.num_ecs(), 2);
+}
+
+#[test]
+fn longest_prefix_match_wins() {
+    let mut m = ApkModel::new();
+    m.apply_batch(
+        vec![
+            RuleUpdate::Insert(fwd(0, "10.0.0.0/8", 1)),
+            RuleUpdate::Insert(fwd(0, "10.1.0.0/16", 2)),
+        ],
+        UpdateOrder::AsGiven,
+    );
+    m.check_invariants();
+    // Three ECs: inside /16, /8 minus /16, everything else.
+    assert_eq!(m.num_ecs(), 3);
+    let pkt_16 = rc_bdd::pkt::Packet { dst_ip: 0x0A010203, ..Default::default() };
+    let pkt_8 = rc_bdd::pkt::Packet { dst_ip: 0x0A800001, ..Default::default() };
+    let pkt_out = rc_bdd::pkt::Packet { dst_ip: 0x0B000001, ..Default::default() };
+    let k = ElementKey::Forward(NodeId(0));
+    assert_eq!(
+        m.action(k, m.ec_of_packet(&pkt_16)),
+        Some(&PortAction::forward(vec![IfaceId(2)]))
+    );
+    assert_eq!(
+        m.action(k, m.ec_of_packet(&pkt_8)),
+        Some(&PortAction::forward(vec![IfaceId(1)]))
+    );
+    assert_eq!(m.action(k, m.ec_of_packet(&pkt_out)), Some(&PortAction::Drop));
+}
+
+#[test]
+fn update_order_changes_churn_but_not_result() {
+    // The paper's Table 3 mechanism: replacing a rule insert-first
+    // moves affected ECs once (old → new port); delete-first moves
+    // them twice (old → drop → new).
+    let build = || {
+        let mut m = ApkModel::new();
+        m.apply_batch(vec![RuleUpdate::Insert(fwd(0, "10.1.0.0/16", 1))], UpdateOrder::AsGiven);
+        m
+    };
+    let batch = vec![
+        RuleUpdate::Remove(fwd(0, "10.1.0.0/16", 1)),
+        RuleUpdate::Insert(fwd(0, "10.1.0.0/16", 2)),
+    ];
+
+    let mut m_ins = build();
+    let s_ins = m_ins.apply_batch(batch.clone(), UpdateOrder::InsertFirst);
+    m_ins.check_invariants();
+
+    let mut m_del = build();
+    let s_del = m_del.apply_batch(batch, UpdateOrder::DeleteFirst);
+    m_del.check_invariants();
+
+    // Same net effect...
+    assert_eq!(s_ins.affected, s_del.affected);
+    assert_eq!(s_ins.affected.len(), 1);
+    assert_eq!(s_ins.affected[0].new, PortAction::forward(vec![IfaceId(2)]));
+    // ...but deletion-first does twice the EC moves.
+    assert_eq!(s_ins.ec_moves, 1);
+    assert_eq!(s_del.ec_moves, 2);
+}
+
+#[test]
+fn acl_element_splits_ecs() {
+    let mut m = ApkModel::new();
+    // Forwarding carves out a /24.
+    m.apply_batch(vec![RuleUpdate::Insert(fwd(0, "10.1.1.0/24", 1))], UpdateOrder::AsGiven);
+    assert_eq!(m.num_ecs(), 2);
+    // An ACL denying HTTP to half of that /24 splits the EC.
+    let acl = ModelRule {
+        element: ElementKey::Filter(NodeId(0), IfaceId(1), Dir::Out),
+        priority: u32::MAX - 10,
+        rule_match: RuleMatch::Acl {
+            proto: Some(6),
+            src: Prefix::DEFAULT,
+            dst: "10.1.1.0/25".parse().unwrap(),
+            dst_ports: Some((80, 80)),
+        },
+        action: PortAction::Deny,
+    };
+    let s = m.apply_batch(vec![RuleUpdate::Insert(acl)], UpdateOrder::AsGiven);
+    m.check_invariants();
+    assert_eq!(s.ec_splits, 1, "the HTTP/10.1.1.0/25 slice must split off");
+    assert_eq!(m.num_ecs(), 3);
+    // The new EC is denied at the filter but still forwards at the FIB.
+    let denied = s
+        .affected
+        .iter()
+        .find(|a| a.new == PortAction::Deny)
+        .expect("a denied EC");
+    assert_eq!(
+        m.action(ElementKey::Forward(NodeId(0)), denied.ec),
+        Some(&PortAction::forward(vec![IfaceId(1)]))
+    );
+}
+
+#[test]
+fn acl_first_match_by_seq() {
+    let mut m = ApkModel::new();
+    let key = ElementKey::Filter(NodeId(0), IfaceId(0), Dir::In);
+    let entry = |seq: u32, permit: bool, dst: &str| ModelRule {
+        element: key,
+        priority: u32::MAX - seq,
+        rule_match: RuleMatch::Acl {
+            proto: None,
+            src: Prefix::DEFAULT,
+            dst: dst.parse().unwrap(),
+            dst_ports: None,
+        },
+        action: if permit { PortAction::Permit } else { PortAction::Deny },
+    };
+    // seq 10: deny 10.0.0.0/8; seq 20: permit 10.1.0.0/16 (shadowed);
+    // implicit deny-all at the lowest priority.
+    m.apply_batch(
+        vec![
+            RuleUpdate::Insert(entry(10, false, "10.0.0.0/8")),
+            RuleUpdate::Insert(entry(20, true, "10.1.0.0/16")),
+            RuleUpdate::Insert(entry(u32::MAX, false, "0.0.0.0/0")),
+        ],
+        UpdateOrder::AsGiven,
+    );
+    m.check_invariants();
+    let pkt = rc_bdd::pkt::Packet { dst_ip: 0x0A010001, ..Default::default() };
+    // Shadowed permit: the seq-10 deny wins.
+    assert_eq!(m.action(key, m.ec_of_packet(&pkt)), Some(&PortAction::Deny));
+}
+
+#[test]
+fn ecmp_groups_are_single_ports() {
+    let mut m = ApkModel::new();
+    let p: Prefix = "10.2.0.0/16".parse().unwrap();
+    let rule = ModelRule {
+        element: ElementKey::Forward(NodeId(0)),
+        priority: 16,
+        rule_match: RuleMatch::DstPrefix(p),
+        action: PortAction::forward(vec![IfaceId(5), IfaceId(3), IfaceId(5)]),
+    };
+    let s = m.apply_batch(vec![RuleUpdate::Insert(rule)], UpdateOrder::AsGiven);
+    // Canonicalized: sorted, deduped.
+    assert_eq!(s.affected[0].new, PortAction::Forward(vec![IfaceId(3), IfaceId(5)]));
+}
+
+#[test]
+fn merge_equivalent_restores_minimality() {
+    let mut m = ApkModel::new();
+    let r = fwd(0, "10.0.0.0/8", 1);
+    m.apply_batch(vec![RuleUpdate::Insert(r.clone())], UpdateOrder::AsGiven);
+    m.apply_batch(vec![RuleUpdate::Remove(r)], UpdateOrder::AsGiven);
+    // Two ECs with identical all-drop behaviour.
+    assert_eq!(m.num_ecs(), 2);
+    let merges = m.merge_equivalent();
+    assert_eq!(merges.len(), 1);
+    assert_eq!(m.num_ecs(), 1);
+    m.check_invariants();
+}
+
+#[test]
+fn multi_device_split_is_global() {
+    let mut m = ApkModel::new();
+    m.apply_batch(
+        vec![
+            RuleUpdate::Insert(fwd(0, "10.0.0.0/8", 1)),
+            RuleUpdate::Insert(fwd(1, "10.1.0.0/16", 2)),
+        ],
+        UpdateOrder::AsGiven,
+    );
+    m.check_invariants();
+    // The /16 split on device 1 must also be reflected at device 0:
+    // both slices of the /8 still forward to iface 1 there.
+    assert_eq!(m.num_ecs(), 3);
+    let pkt = rc_bdd::pkt::Packet { dst_ip: 0x0A010001, ..Default::default() };
+    let ec = m.ec_of_packet(&pkt);
+    assert_eq!(
+        m.action(ElementKey::Forward(NodeId(0)), ec),
+        Some(&PortAction::forward(vec![IfaceId(1)]))
+    );
+    assert_eq!(
+        m.action(ElementKey::Forward(NodeId(1)), ec),
+        Some(&PortAction::forward(vec![IfaceId(2)]))
+    );
+}
+
+#[test]
+fn transient_move_that_returns_is_not_affected() {
+    // Remove and re-insert the identical rule in one delete-first
+    // batch: the EC moves to drop and back, so net affected is empty
+    // but churn is visible.
+    let mut m = ApkModel::new();
+    let r = fwd(0, "10.0.0.0/8", 1);
+    m.apply_batch(vec![RuleUpdate::Insert(r.clone())], UpdateOrder::AsGiven);
+    let s = m.apply_batch(
+        vec![RuleUpdate::Remove(r.clone()), RuleUpdate::Insert(r)],
+        UpdateOrder::DeleteFirst,
+    );
+    m.check_invariants();
+    assert!(s.affected.is_empty(), "net behaviour unchanged: {:?}", s.affected);
+    assert_eq!(s.ec_moves, 2, "but the EC transited through the drop port");
+}
+
+#[test]
+#[should_panic(expected = "not in the model")]
+fn removing_unknown_rule_panics() {
+    let mut m = ApkModel::new();
+    m.apply_batch(vec![RuleUpdate::Remove(fwd(0, "10.0.0.0/8", 1))], UpdateOrder::AsGiven);
+}

@@ -1,0 +1,173 @@
+//! Analysis operations on BDDs: satisfying-assignment counting, support
+//! computation, evaluation, and witness extraction.
+
+use std::collections::HashMap;
+
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+impl Bdd {
+    /// Number of satisfying assignments over a space of `num_vars`
+    /// variables (variables `0..num_vars`). Returned as `f64` because a
+    /// 104-bit packet space overflows `u64`.
+    ///
+    /// Every variable appearing in `a` must be `< num_vars`.
+    pub fn sat_count(&self, a: Ref, num_vars: u32) -> f64 {
+        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        // count(r) = satisfying assignments over vars var_of(r)..num_vars,
+        // then scale by the gap above the root.
+        let c = self.sat_count_rec(a, num_vars, &mut memo);
+        let root_var = if a.is_terminal() { num_vars } else { self.var_of(a) };
+        c * 2f64.powi(root_var as i32)
+    }
+
+    fn sat_count_rec(&self, a: Ref, num_vars: u32, memo: &mut HashMap<Ref, f64>) -> f64 {
+        if a.is_false() {
+            return 0.0;
+        }
+        if a.is_true() {
+            return 1.0;
+        }
+        if let Some(&c) = memo.get(&a) {
+            return c;
+        }
+        let n = self.node(a);
+        debug_assert!(n.var < num_vars, "sat_count: variable {} out of range {num_vars}", n.var);
+        let gap = |child: Ref| -> i32 {
+            let cv = if child.is_terminal() { num_vars } else { self.var_of(child) };
+            (cv - n.var - 1) as i32
+        };
+        let lo = self.sat_count_rec(n.lo, num_vars, memo) * 2f64.powi(gap(n.lo));
+        let hi = self.sat_count_rec(n.hi, num_vars, memo) * 2f64.powi(gap(n.hi));
+        let c = lo + hi;
+        memo.insert(a, c);
+        c
+    }
+
+    /// The set of variables appearing in `a`, sorted ascending.
+    pub fn support(&self, a: Ref) -> Vec<Var> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![a];
+        while let Some(r) = stack.pop() {
+            if r.is_terminal() || !seen.insert(r) {
+                continue;
+            }
+            let n = self.node(r);
+            vars.insert(n.var);
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        vars.into_iter().collect()
+    }
+
+    /// Evaluate `a` under a total assignment: `assignment(v)` gives the
+    /// value of variable `v`.
+    pub fn eval<F: Fn(Var) -> bool>(&self, a: Ref, assignment: F) -> bool {
+        let mut r = a;
+        while !r.is_terminal() {
+            let n = self.node(r);
+            r = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        r.is_true()
+    }
+
+    /// Extract one satisfying assignment as `(var, value)` pairs for the
+    /// variables along the chosen path (unmentioned variables are free).
+    /// Returns `None` iff `a` is unsatisfiable.
+    pub fn pick_cube(&self, a: Ref) -> Option<Vec<(Var, bool)>> {
+        if a.is_false() {
+            return None;
+        }
+        let mut cube = Vec::new();
+        let mut r = a;
+        while !r.is_terminal() {
+            let n = self.node(r);
+            // Prefer the hi branch when it is satisfiable, else take lo.
+            if !n.hi.is_false() {
+                cube.push((n.var, true));
+                r = n.hi;
+            } else {
+                cube.push((n.var, false));
+                r = n.lo;
+            }
+        }
+        debug_assert!(r.is_true());
+        Some(cube)
+    }
+
+    /// Whether `a` and `b` denote disjoint packet sets.
+    pub fn disjoint(&mut self, a: Ref, b: Ref) -> bool {
+        self.and(a, b).is_false()
+    }
+
+    /// Whether `a ⊆ b` as packet sets.
+    pub fn subset(&mut self, a: Ref, b: Ref) -> bool {
+        self.diff(a, b).is_false()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sat_count_simple() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        assert_eq!(b.sat_count(x, 1), 1.0);
+        assert_eq!(b.sat_count(x, 4), 8.0);
+        assert_eq!(b.sat_count(Ref::TRUE, 10), 1024.0);
+        assert_eq!(b.sat_count(Ref::FALSE, 10), 0.0);
+        let y = b.var(3);
+        let xy = b.and(x, y);
+        assert_eq!(b.sat_count(xy, 4), 4.0);
+        let xoy = b.or(x, y);
+        assert_eq!(b.sat_count(xoy, 4), 12.0);
+    }
+
+    #[test]
+    fn support_lists_vars() {
+        let mut b = Bdd::new();
+        let x = b.var(2);
+        let y = b.var(5);
+        let f = b.xor(x, y);
+        assert_eq!(b.support(f), vec![2, 5]);
+        assert!(b.support(Ref::TRUE).is_empty());
+    }
+
+    #[test]
+    fn eval_follows_assignment() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let f = b.and(x, y);
+        assert!(b.eval(f, |_| true));
+        assert!(!b.eval(f, |v| v == 0));
+    }
+
+    #[test]
+    fn pick_cube_satisfies() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let ny = b.nvar(1);
+        let f = b.and(x, ny);
+        let cube = b.pick_cube(f).unwrap();
+        let assignment: std::collections::HashMap<_, _> = cube.into_iter().collect();
+        assert!(b.eval(f, |v| *assignment.get(&v).unwrap_or(&false)));
+        assert!(b.pick_cube(Ref::FALSE).is_none());
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        let xy = b.and(x, y);
+        assert!(b.subset(xy, x));
+        assert!(!b.subset(x, xy));
+        let nx = b.not(x);
+        assert!(b.disjoint(x, nx));
+        assert!(!b.disjoint(x, y));
+    }
+}

@@ -1,0 +1,254 @@
+//! Packet-header variable layout and encoders.
+//!
+//! RealConfig reasons about packets with five header fields. Each field
+//! occupies a contiguous block of BDD variables, most significant bit
+//! first. The destination IP gets the lowest variable indices because
+//! forwarding state (FIBs) branches almost exclusively on it — keeping it
+//! near the root keeps FIB predicates small.
+
+use crate::manager::Bdd;
+use crate::node::{Ref, Var};
+
+/// A packet header field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Field {
+    DstIp,
+    SrcIp,
+    Proto,
+    SrcPort,
+    DstPort,
+}
+
+impl Field {
+    /// Width of the field in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            Field::DstIp | Field::SrcIp => 32,
+            Field::Proto => 8,
+            Field::SrcPort | Field::DstPort => 16,
+        }
+    }
+
+    /// First BDD variable of the field's block.
+    pub fn offset(self) -> Var {
+        match self {
+            Field::DstIp => 0,
+            Field::SrcIp => 32,
+            Field::Proto => 64,
+            Field::SrcPort => 72,
+            Field::DstPort => 88,
+        }
+    }
+}
+
+/// Total number of BDD variables in the packet header space.
+pub const TOTAL_VARS: u32 = 104;
+
+/// A concrete packet, used to evaluate predicates and produce witnesses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Packet {
+    pub dst_ip: u32,
+    pub src_ip: u32,
+    pub proto: u8,
+    pub src_port: u16,
+    pub dst_port: u16,
+}
+
+impl Packet {
+    /// Value of BDD variable `v` for this packet.
+    pub fn bit(&self, v: Var) -> bool {
+        let field_bit = |value: u64, width: u32, idx: u32| -> bool {
+            // idx 0 is the MSB.
+            (value >> (width - 1 - idx)) & 1 == 1
+        };
+        match v {
+            0..=31 => field_bit(self.dst_ip as u64, 32, v),
+            32..=63 => field_bit(self.src_ip as u64, 32, v - 32),
+            64..=71 => field_bit(self.proto as u64, 8, v - 64),
+            72..=87 => field_bit(self.src_port as u64, 16, v - 72),
+            88..=103 => field_bit(self.dst_port as u64, 16, v - 88),
+            _ => panic!("packet bit {v} out of range"),
+        }
+    }
+}
+
+impl Bdd {
+    /// Predicate matching packets whose `field` equals `value` on its top
+    /// `len` bits (an IP-prefix-style match). `len == 0` matches all.
+    pub fn pkt_prefix(&mut self, field: Field, value: u32, len: u32) -> Ref {
+        assert!(len <= field.width(), "prefix length {len} exceeds field width");
+        let off = field.offset();
+        let width = field.width();
+        // Build bottom-up so variable order is respected cheaply.
+        let mut acc = Ref::TRUE;
+        for i in (0..len).rev() {
+            let bit = (value >> (width - 1 - i)) & 1 == 1;
+            let v = off + i;
+            let lit = if bit { self.var(v) } else { self.nvar(v) };
+            acc = self.and(lit, acc);
+        }
+        acc
+    }
+
+    /// Predicate matching packets whose `field` equals `value` exactly.
+    pub fn pkt_value(&mut self, field: Field, value: u32) -> Ref {
+        self.pkt_prefix(field, value, field.width())
+    }
+
+    /// Predicate matching packets with `lo <= field <= hi` (inclusive).
+    pub fn pkt_range(&mut self, field: Field, lo: u32, hi: u32) -> Ref {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let width = field.width();
+        if width < 32 {
+            assert!(hi < (1 << width), "range bound exceeds field width");
+        }
+        let geq = self.bound(field, lo, true);
+        let leq = self.bound(field, hi, false);
+        self.and(geq, leq)
+    }
+
+    /// `x >= value` when `lower`, else `x <= value`, over the field bits.
+    fn bound(&mut self, field: Field, value: u32, lower: bool) -> Ref {
+        let off = field.offset();
+        let width = field.width();
+        // Walk from LSB to MSB building the comparison bottom-up.
+        let mut acc = Ref::TRUE;
+        for i in (0..width).rev() {
+            let bit = (value >> (width - 1 - i)) & 1 == 1;
+            let v = off + i;
+            let x = self.var(v);
+            acc = match (lower, bit) {
+                // x >= v, v-bit 1: need x-bit 1 and rest >= ; x-bit 0 fails.
+                (true, true) => self.and(x, acc),
+                // x >= v, v-bit 0: x-bit 1 always wins; x-bit 0 recurses.
+                (true, false) => self.ite(x, Ref::TRUE, acc),
+                // x <= v, v-bit 1: x-bit 0 always wins; x-bit 1 recurses.
+                (false, true) => self.ite(x, acc, Ref::TRUE),
+                // x <= v, v-bit 0: need x-bit 0 and rest <=.
+                (false, false) => {
+                    let nx = self.not(x);
+                    self.and(nx, acc)
+                }
+            };
+        }
+        acc
+    }
+
+    /// Evaluate a predicate on a concrete packet.
+    pub fn pkt_eval(&self, pred: Ref, pkt: &Packet) -> bool {
+        self.eval(pred, |v| pkt.bit(v))
+    }
+
+    /// Produce one packet satisfying `pred`, if any. Free bits are zero.
+    pub fn pkt_witness(&self, pred: Ref) -> Option<Packet> {
+        let cube = self.pick_cube(pred)?;
+        let mut pkt = Packet::default();
+        for (v, bit) in cube {
+            if !bit {
+                continue;
+            }
+            let set = |value: &mut u32, width: u32, idx: u32| *value |= 1 << (width - 1 - idx);
+            match v {
+                0..=31 => set(&mut pkt.dst_ip, 32, v),
+                32..=63 => set(&mut pkt.src_ip, 32, v - 32),
+                64..=71 => {
+                    let mut p = pkt.proto as u32;
+                    set(&mut p, 8, v - 64);
+                    pkt.proto = p as u8;
+                }
+                72..=87 => {
+                    let mut p = pkt.src_port as u32;
+                    set(&mut p, 16, v - 72);
+                    pkt.src_port = p as u16;
+                }
+                88..=103 => {
+                    let mut p = pkt.dst_port as u32;
+                    set(&mut p, 16, v - 88);
+                    pkt.dst_port = p as u16;
+                }
+                _ => unreachable!("witness bit out of packet range"),
+            }
+        }
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matches_expected_packets() {
+        let mut b = Bdd::new();
+        // 10.0.0.0/8
+        let p = b.pkt_prefix(Field::DstIp, 0x0A000000, 8);
+        assert!(b.pkt_eval(p, &Packet { dst_ip: 0x0A123456, ..Default::default() }));
+        assert!(!b.pkt_eval(p, &Packet { dst_ip: 0x0B000000, ..Default::default() }));
+        // sat count: dst 24 free bits, all other 72 bits free.
+        assert_eq!(b.sat_count(p, TOTAL_VARS), 2f64.powi(96));
+    }
+
+    #[test]
+    fn zero_length_prefix_is_true() {
+        let mut b = Bdd::new();
+        assert_eq!(b.pkt_prefix(Field::DstIp, 0, 0), Ref::TRUE);
+    }
+
+    #[test]
+    fn exact_value() {
+        let mut b = Bdd::new();
+        let p = b.pkt_value(Field::Proto, 6);
+        assert!(b.pkt_eval(p, &Packet { proto: 6, ..Default::default() }));
+        assert!(!b.pkt_eval(p, &Packet { proto: 17, ..Default::default() }));
+        assert_eq!(b.sat_count(p, TOTAL_VARS), 2f64.powi(96));
+    }
+
+    #[test]
+    fn range_counts() {
+        let mut b = Bdd::new();
+        // 100 values in [1000, 1099].
+        let p = b.pkt_range(Field::DstPort, 1000, 1099);
+        assert_eq!(b.sat_count(p, TOTAL_VARS), 100.0 * 2f64.powi(88));
+        assert!(b.pkt_eval(p, &Packet { dst_port: 1050, ..Default::default() }));
+        assert!(!b.pkt_eval(p, &Packet { dst_port: 1100, ..Default::default() }));
+        assert!(!b.pkt_eval(p, &Packet { dst_port: 999, ..Default::default() }));
+    }
+
+    #[test]
+    fn full_range_is_true() {
+        let mut b = Bdd::new();
+        assert_eq!(b.pkt_range(Field::SrcPort, 0, 65535), Ref::TRUE);
+    }
+
+    #[test]
+    fn single_value_range_equals_value() {
+        let mut b = Bdd::new();
+        let r = b.pkt_range(Field::DstPort, 80, 80);
+        let v = b.pkt_value(Field::DstPort, 80);
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn witness_round_trips() {
+        let mut b = Bdd::new();
+        let pfx = b.pkt_prefix(Field::DstIp, 0xC0A80000, 16); // 192.168/16
+        let tcp = b.pkt_value(Field::Proto, 6);
+        let http = b.pkt_value(Field::DstPort, 80);
+        let t = b.and(pfx, tcp);
+        let pred = b.and(t, http);
+        let w = b.pkt_witness(pred).unwrap();
+        assert!(b.pkt_eval(pred, &w));
+        assert_eq!(w.proto, 6);
+        assert_eq!(w.dst_port, 80);
+        assert_eq!(w.dst_ip >> 16, 0xC0A8);
+    }
+
+    #[test]
+    fn prefixes_partition() {
+        let mut b = Bdd::new();
+        let p0 = b.pkt_prefix(Field::DstIp, 0x00000000, 1);
+        let p1 = b.pkt_prefix(Field::DstIp, 0x80000000, 1);
+        assert!(b.disjoint(p0, p1));
+        assert_eq!(b.or(p0, p1), Ref::TRUE);
+    }
+}

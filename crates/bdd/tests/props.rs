@@ -1,0 +1,146 @@
+//! Property-based tests: BDD operations must agree with a naive
+//! truth-table model over a small variable universe, and the packet
+//! encoders must agree with direct arithmetic on sampled packets.
+
+use proptest::prelude::*;
+use rc_bdd::pkt::{Field, Packet, TOTAL_VARS};
+use rc_bdd::{Bdd, Ref};
+
+/// A tiny boolean-expression AST we can evaluate both ways.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+}
+
+const NVARS: u32 = 6;
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..NVARS).prop_map(Expr::Var);
+    leaf.prop_recursive(5, 64, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn eval_expr(e: &Expr, assignment: u32) -> bool {
+    match e {
+        Expr::Var(v) => (assignment >> v) & 1 == 1,
+        Expr::Not(a) => !eval_expr(a, assignment),
+        Expr::And(a, b) => eval_expr(a, assignment) && eval_expr(b, assignment),
+        Expr::Or(a, b) => eval_expr(a, assignment) || eval_expr(b, assignment),
+        Expr::Xor(a, b) => eval_expr(a, assignment) ^ eval_expr(b, assignment),
+    }
+}
+
+fn build_bdd(b: &mut Bdd, e: &Expr) -> Ref {
+    match e {
+        Expr::Var(v) => b.var(*v),
+        Expr::Not(a) => {
+            let x = build_bdd(b, a);
+            b.not(x)
+        }
+        Expr::And(x, y) => {
+            let (x, y) = (build_bdd(b, x), build_bdd(b, y));
+            b.and(x, y)
+        }
+        Expr::Or(x, y) => {
+            let (x, y) = (build_bdd(b, x), build_bdd(b, y));
+            b.or(x, y)
+        }
+        Expr::Xor(x, y) => {
+            let (x, y) = (build_bdd(b, x), build_bdd(b, y));
+            b.xor(x, y)
+        }
+    }
+}
+
+proptest! {
+    /// BDD evaluation agrees with the AST on every assignment, and
+    /// sat_count equals the truth-table count (canonicity smoke test).
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut b = Bdd::new();
+        let f = build_bdd(&mut b, &e);
+        let mut count = 0u32;
+        for assignment in 0..(1u32 << NVARS) {
+            let expect = eval_expr(&e, assignment);
+            let got = b.eval(f, |v| (assignment >> v) & 1 == 1);
+            prop_assert_eq!(got, expect);
+            count += expect as u32;
+        }
+        prop_assert_eq!(b.sat_count(f, NVARS), count as f64);
+    }
+
+    /// Two semantically equal expressions hash-cons to the same Ref.
+    #[test]
+    fn canonicity(e in arb_expr()) {
+        let mut b = Bdd::new();
+        let f = build_bdd(&mut b, &e);
+        // ¬¬e and e ∨ e and e ∧ true must all be the identical node.
+        let nf = b.not(f);
+        prop_assert_eq!(b.not(nf), f);
+        prop_assert_eq!(b.or(f, f), f);
+        prop_assert_eq!(b.and(f, Ref::TRUE), f);
+        // De Morgan.
+        let g = build_bdd(&mut b, &e);
+        let fg = b.and(f, g);
+        let n_fg = b.not(fg);
+        let (nf2, ng) = (b.not(f), b.not(g));
+        let or_n = b.or(nf2, ng);
+        prop_assert_eq!(n_fg, or_n);
+    }
+
+    /// Existential quantification = disjunction of restrictions.
+    #[test]
+    fn exists_is_or_of_restricts(e in arb_expr(), v in 0..NVARS) {
+        let mut b = Bdd::new();
+        let f = build_bdd(&mut b, &e);
+        let ex = b.exists(f, &[v]);
+        let r0 = b.restrict(f, v, false);
+        let r1 = b.restrict(f, v, true);
+        let or = b.or(r0, r1);
+        prop_assert_eq!(ex, or);
+    }
+
+    /// Prefix encoding agrees with integer arithmetic.
+    #[test]
+    fn prefix_encoding(value: u32, len in 0u32..=32, dst: u32) {
+        let mut b = Bdd::new();
+        let p = b.pkt_prefix(Field::DstIp, value, len);
+        let mask = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+        let expect = (dst & mask) == (value & mask);
+        let pkt = Packet { dst_ip: dst, ..Default::default() };
+        prop_assert_eq!(b.pkt_eval(p, &pkt), expect);
+    }
+
+    /// Range encoding agrees with integer comparison and counts exactly.
+    #[test]
+    fn range_encoding(a: u16, c: u16, sample: u16) {
+        let (lo, hi) = (a.min(c), a.max(c));
+        let mut b = Bdd::new();
+        let p = b.pkt_range(Field::DstPort, lo as u32, hi as u32);
+        let pkt = Packet { dst_port: sample, ..Default::default() };
+        prop_assert_eq!(b.pkt_eval(p, &pkt), sample >= lo && sample <= hi);
+        let expect = (hi as f64 - lo as f64 + 1.0) * 2f64.powi((TOTAL_VARS - 16) as i32);
+        prop_assert_eq!(b.sat_count(p, TOTAL_VARS), expect);
+    }
+
+    /// A witness extracted from a satisfiable predicate satisfies it.
+    #[test]
+    fn witness_satisfies(value: u32, len in 0u32..=32, port: u16) {
+        let mut b = Bdd::new();
+        let pfx = b.pkt_prefix(Field::DstIp, value, len);
+        let pt = b.pkt_value(Field::DstPort, port as u32);
+        let pred = b.and(pfx, pt);
+        let w = b.pkt_witness(pred).unwrap();
+        prop_assert!(b.pkt_eval(pred, &w));
+    }
+}

@@ -1,0 +1,182 @@
+//! Ablations of RealConfig's design decisions (DESIGN.md):
+//!
+//! * **batch vs per-rule checking** — the paper's §4.2 point: realtime
+//!   data plane verifiers check policies after *every* rule update; the
+//!   batch-mode extension updates the model for the whole batch and
+//!   checks once. Per-rule checking pays the policy-analysis cost per
+//!   rule and also observes transient states nobody asked about.
+//! * **incremental vs full policy checking** — re-analyze only affected
+//!   ECs vs rebuild the whole pair map.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_apkeep::{ApkModel, ElementKey, ModelRule, PortAction, RuleMatch, RuleUpdate, UpdateOrder};
+use rc_netcfg::facts::{lower, Registry};
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::fat_tree;
+use rc_netcfg::types::{IfaceId, NodeId, Port, Prefix};
+use rc_policy::PolicyChecker;
+
+/// Build a data plane model + checker directly from a k=4 BGP fat
+/// tree's converged FIB (bypassing the routing engine so this bench
+/// isolates stages 2–3).
+fn build_stage23() -> (ApkModel, PolicyChecker, Vec<ModelRule>) {
+    let topo = fat_tree(4);
+    let configs = build_configs(&topo, ProtocolChoice::Bgp);
+    let mut reg = Registry::new();
+    let lowered = lower(&configs, &mut reg);
+    let dp = rc_routing::baseline::compute(&lowered.facts).expect("converges");
+
+    let mut model = ApkModel::new();
+    let mut by_group: std::collections::BTreeMap<(NodeId, Prefix), Vec<rc_routing::route::FibAction>> =
+        std::collections::BTreeMap::new();
+    for e in &dp.fib {
+        by_group.entry((e.node, e.prefix)).or_default().push(e.action);
+    }
+    let mut rules = Vec::new();
+    for ((node, prefix), actions) in by_group {
+        let ifaces: Vec<IfaceId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                rc_routing::route::FibAction::Forward(i)
+                | rc_routing::route::FibAction::Local(i) => Some(*i),
+                rc_routing::route::FibAction::Drop => None,
+            })
+            .collect();
+        if ifaces.is_empty() {
+            continue;
+        }
+        let local = matches!(actions[0], rc_routing::route::FibAction::Local(_));
+        rules.push(ModelRule {
+            element: ElementKey::Forward(node),
+            priority: prefix.len() as u32,
+            rule_match: RuleMatch::DstPrefix(prefix),
+            action: if local {
+                PortAction::deliver(ifaces)
+            } else {
+                PortAction::forward(ifaces)
+            },
+        });
+    }
+    model.apply_batch(rules.iter().cloned().map(RuleUpdate::Insert).collect(), UpdateOrder::AsGiven);
+
+    let mut checker = PolicyChecker::new();
+    let nodes: BTreeSet<NodeId> = lowered
+        .facts
+        .iter()
+        .filter_map(|f| match f {
+            rc_netcfg::Fact::Device(n) => Some(*n),
+            _ => None,
+        })
+        .collect();
+    checker.set_nodes(nodes);
+    let links: Vec<(Port, Port, isize)> = lowered
+        .facts
+        .iter()
+        .filter_map(|f| match f {
+            rc_netcfg::Fact::Link { src, dst } => Some((*src, *dst, 1)),
+            _ => None,
+        })
+        .collect();
+    checker.apply_link_delta(&links);
+    checker.check_full(&mut model);
+    (model, checker, rules)
+}
+
+/// A realistic batch: flip `n` forwarding rules to drop and back.
+fn flip_batches(rules: &[ModelRule], n: usize) -> (Vec<RuleUpdate>, Vec<RuleUpdate>) {
+    let victims: Vec<_> = rules.iter().step_by(rules.len() / n.max(1)).take(n).cloned().collect();
+    let to_drop = victims
+        .iter()
+        .flat_map(|r| {
+            [
+                RuleUpdate::Remove(r.clone()),
+                RuleUpdate::Insert(ModelRule { action: PortAction::Drop, ..r.clone() }),
+            ]
+        })
+        .collect();
+    let back = victims
+        .iter()
+        .flat_map(|r| {
+            [
+                RuleUpdate::Remove(ModelRule { action: PortAction::Drop, ..r.clone() }),
+                RuleUpdate::Insert(r.clone()),
+            ]
+        })
+        .collect();
+    (to_drop, back)
+}
+
+fn batch_vs_per_rule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/batch-vs-per-rule");
+    group.sample_size(20);
+    let (mut model, mut checker, rules) = build_stage23();
+    let (to_drop, back) = flip_batches(&rules, 12);
+
+    group.bench_function(BenchmarkId::new("update+check", "batch"), |b| {
+        b.iter(|| {
+            let mut touched = 0;
+            for batch in [to_drop.clone(), back.clone()] {
+                let summary = model.apply_batch(batch, UpdateOrder::InsertFirst);
+                let report =
+                    checker.check_incremental(&mut model, &summary, BTreeSet::new());
+                touched += report.affected_pairs;
+            }
+            touched
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("update+check", "per-rule"), |b| {
+        b.iter(|| {
+            let mut touched = 0;
+            for batch in [to_drop.clone(), back.clone()] {
+                for update in batch {
+                    // The realtime-verifier discipline: model update and
+                    // policy check after every single rule.
+                    let summary = model.apply_batch(vec![update], UpdateOrder::InsertFirst);
+                    let report =
+                        checker.check_incremental(&mut model, &summary, BTreeSet::new());
+                    touched += report.affected_pairs;
+                }
+            }
+            touched
+        })
+    });
+    group.finish();
+}
+
+fn incremental_vs_full_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/policy-check");
+    group.sample_size(20);
+    let (mut model, mut checker, rules) = build_stage23();
+    let (to_drop, back) = flip_batches(&rules, 4);
+
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut pairs = 0;
+            for batch in [to_drop.clone(), back.clone()] {
+                let summary = model.apply_batch(batch, UpdateOrder::InsertFirst);
+                pairs += checker
+                    .check_incremental(&mut model, &summary, BTreeSet::new())
+                    .affected_pairs;
+            }
+            pairs
+        })
+    });
+
+    group.bench_function("full-recheck", |b| {
+        b.iter(|| {
+            let mut pairs = 0;
+            for batch in [to_drop.clone(), back.clone()] {
+                let _ = model.apply_batch(batch, UpdateOrder::InsertFirst);
+                pairs += checker.check_full(&mut model).total_pairs;
+            }
+            pairs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, batch_vs_per_rule, incremental_vs_full_check);
+criterion_main!(benches);

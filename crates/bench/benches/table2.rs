@@ -1,0 +1,77 @@
+//! Criterion bench for Table 2: from-scratch vs incremental data plane
+//! generation. Uses k=6 (45 nodes / 108 links) so a bench run stays
+//! minutes-scale; the `table2` binary reproduces the paper's k=12.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rc_netcfg::facts::{fact_delta, lower, Registry};
+use rc_netcfg::gen::ProtocolChoice;
+use rc_routing::engine::RoutingEngine;
+use realconfig_bench::Workload;
+
+const K: u32 = 6;
+
+fn full_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/full");
+    group.sample_size(10);
+    for proto in [ProtocolChoice::Ospf, ProtocolChoice::Bgp] {
+        let label = if proto == ProtocolChoice::Ospf { "ospf" } else { "bgp" };
+        let w = Workload::fat_tree(K, proto);
+        let mut reg = Registry::new();
+        let lowered = lower(&w.configs, &mut reg);
+        let facts: Vec<_> = lowered.facts.iter().cloned().map(|f| (f, 1isize)).collect();
+
+        group.bench_function(BenchmarkId::new("realconfig", label), |b| {
+            b.iter(|| {
+                let mut engine = RoutingEngine::new();
+                engine.apply(facts.iter().cloned()).expect("converges");
+                engine.fib().len()
+            })
+        });
+        group.bench_function(BenchmarkId::new("baseline", label), |b| {
+            b.iter(|| rc_routing::baseline::compute(&lowered.facts).expect("converges").fib.len())
+        });
+    }
+    group.finish();
+}
+
+fn incremental_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/incremental");
+    group.sample_size(10);
+    for proto in [ProtocolChoice::Ospf, ProtocolChoice::Bgp] {
+        let plabel = if proto == ProtocolChoice::Ospf { "ospf" } else { "bgp" };
+        let w = Workload::fat_tree(K, proto);
+        for change in w.changes() {
+            // One engine, warmed with the full network; each iteration
+            // verifies the change and its revert (two incremental
+            // epochs).
+            let mut reg = Registry::new();
+            let lowered = lower(&w.configs, &mut reg);
+            let mut engine = RoutingEngine::new();
+            engine.apply(lowered.facts.iter().map(|f| (f.clone(), 1))).expect("converges");
+            let mut configs = w.configs.clone();
+            let mut facts = lowered.facts;
+            let port = &w.sample_ports(1, 42)[0];
+            let (apply_cs, restore_cs) = w.change_at(change, port);
+
+            group.bench_function(
+                BenchmarkId::new(format!("{plabel}/{}", change.label()), "apply+revert"),
+                |b| {
+                    b.iter(|| {
+                        for cs in [&apply_cs, &restore_cs] {
+                            cs.apply(&mut configs).expect("applies");
+                            let lowered = lower(&configs, &mut reg);
+                            let delta = fact_delta(&facts, &lowered.facts);
+                            facts = lowered.facts;
+                            engine.apply(delta).expect("converges");
+                        }
+                        engine.compact();
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, full_generation, incremental_generation);
+criterion_main!(benches);

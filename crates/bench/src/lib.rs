@@ -1,0 +1,353 @@
+//! Benchmark harness reproducing the paper's evaluation (§5).
+//!
+//! The paper's setting: a fat-tree topology with 180 nodes and 864
+//! links (k = 12), running OSPF or BGP; three change types —
+//! LinkFailure (deactivate an interface), LC (OSPF link cost 1 → 100),
+//! LP (BGP local preference 100 → 150 on one interface's imports).
+//!
+//! [`run_table2`] regenerates Table 2 (data plane generation time:
+//! from-scratch vs incremental) and [`run_table3`] regenerates Table 3
+//! (model update and policy checking, including the insertion-first vs
+//! deletion-first ordering effect). Absolute numbers differ from the
+//! paper's testbed; the reproduction targets the *shape*: incremental
+//! time a small percentage of full recomputation, <1% of rules
+//! affected, insertion-first beating deletion-first, policy checking on
+//! a few percent of pairs.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use rc_netcfg::facts::{fact_delta, lower, Registry};
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{fat_tree, Topology};
+use rc_netcfg::{ChangeSet, DeviceConfig};
+use rc_routing::engine::RoutingEngine;
+use realconfig::{RealConfig, UpdateOrder};
+
+/// The paper's change types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PaperChange {
+    /// Deactivate an interface.
+    LinkFailure,
+    /// OSPF link cost 1 → 100.
+    CostChange,
+    /// BGP local preference 100 → 150 on one interface's imports.
+    LocalPref,
+}
+
+impl PaperChange {
+    pub fn label(self) -> &'static str {
+        match self {
+            PaperChange::LinkFailure => "LinkFailure",
+            PaperChange::CostChange => "LC",
+            PaperChange::LocalPref => "LP",
+        }
+    }
+}
+
+/// A benchmark workload: a generated fat-tree network.
+pub struct Workload {
+    pub k: u32,
+    pub proto: ProtocolChoice,
+    pub topo: Topology,
+    pub configs: BTreeMap<String, DeviceConfig>,
+}
+
+impl Workload {
+    pub fn fat_tree(k: u32, proto: ProtocolChoice) -> Self {
+        let topo = fat_tree(k);
+        let configs = build_configs(&topo, proto);
+        Workload { k, proto, topo, configs }
+    }
+
+    /// Deterministically sample `n` link endpoints (device, interface)
+    /// spread over the topology.
+    pub fn sample_ports(&self, n: usize, seed: u64) -> Vec<(String, String)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ports: Vec<(String, String)> = self
+            .topo
+            .links
+            .iter()
+            .map(|l| (l.a.device.clone(), l.a.iface.clone()))
+            .collect();
+        ports.shuffle(&mut rng);
+        ports.truncate(n);
+        ports
+    }
+
+    /// The paper's change at a sampled port, plus the change that
+    /// reverts it.
+    pub fn change_at(&self, change: PaperChange, port: &(String, String)) -> (ChangeSet, ChangeSet) {
+        let (dev, iface) = port;
+        match change {
+            PaperChange::LinkFailure => (
+                ChangeSet::link_failure(dev, iface),
+                ChangeSet {
+                    ops: vec![rc_netcfg::ChangeOp::EnableInterface {
+                        device: dev.clone(),
+                        iface: iface.clone(),
+                    }],
+                },
+            ),
+            PaperChange::CostChange => (
+                ChangeSet::link_cost(dev, iface, 100),
+                ChangeSet::link_cost(dev, iface, 1),
+            ),
+            PaperChange::LocalPref => (
+                ChangeSet::local_pref(dev, iface, 150),
+                ChangeSet::local_pref(dev, iface, 100),
+            ),
+        }
+    }
+
+    /// The change types applicable to this workload's protocol.
+    pub fn changes(&self) -> Vec<PaperChange> {
+        match self.proto {
+            ProtocolChoice::Ospf => vec![PaperChange::LinkFailure, PaperChange::CostChange],
+            // RIP has neither link costs nor local preferences: only
+            // the failure change applies.
+            ProtocolChoice::Rip => vec![PaperChange::LinkFailure],
+            ProtocolChoice::Bgp => vec![PaperChange::LinkFailure, PaperChange::LocalPref],
+        }
+    }
+}
+
+/// One protocol row of Table 2.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table2Row {
+    pub proto: String,
+    pub k: u32,
+    pub nodes: usize,
+    pub links: usize,
+    /// Custom-algorithm from-scratch (the paper's Batfish column), µs.
+    pub baseline_full_us: u128,
+    /// General-purpose engine from scratch (RealConfig Full), µs.
+    pub rc_full_us: u128,
+    /// Incremental, averaged over samples, µs: LinkFailure.
+    pub link_failure_us: u128,
+    /// Incremental, averaged: LC (OSPF) or LP (BGP).
+    pub lc_lp_us: u128,
+    pub samples: usize,
+}
+
+impl Table2Row {
+    pub fn pct_link_failure(&self) -> f64 {
+        100.0 * self.link_failure_us as f64 / self.rc_full_us as f64
+    }
+
+    pub fn pct_lc_lp(&self) -> f64 {
+        100.0 * self.lc_lp_us as f64 / self.rc_full_us as f64
+    }
+}
+
+/// Time one incremental change (apply only), restoring afterwards.
+/// Uses a bare routing engine — Table 2 measures data plane
+/// *generation*, the pipeline's first stage.
+struct EngineHarness {
+    engine: RoutingEngine,
+    reg: Registry,
+    configs: BTreeMap<String, DeviceConfig>,
+    facts: std::collections::BTreeSet<rc_netcfg::Fact>,
+}
+
+impl EngineHarness {
+    fn new(configs: BTreeMap<String, DeviceConfig>) -> (Self, Duration) {
+        let mut reg = Registry::new();
+        let lowered = lower(&configs, &mut reg);
+        let mut engine = RoutingEngine::new();
+        let t = Instant::now();
+        engine
+            .apply(lowered.facts.iter().map(|f| (f.clone(), 1)))
+            .expect("workload converges");
+        let full = t.elapsed();
+        (EngineHarness { engine, reg, configs, facts: lowered.facts }, full)
+    }
+
+    /// Apply a change set; returns the data plane generation time.
+    fn apply(&mut self, cs: &ChangeSet) -> Duration {
+        cs.apply(&mut self.configs).expect("change applies");
+        let lowered = lower(&self.configs, &mut self.reg);
+        let delta = fact_delta(&self.facts, &lowered.facts);
+        self.facts = lowered.facts;
+        let t = Instant::now();
+        self.engine.apply(delta).expect("workload converges");
+        t.elapsed()
+    }
+}
+
+/// Regenerate Table 2 for one protocol.
+pub fn run_table2(k: u32, proto: ProtocolChoice, samples: usize, seed: u64) -> Table2Row {
+    let w = Workload::fat_tree(k, proto);
+
+    let (baseline_full, _) =
+        realconfig::full_dataplane_baseline(&w.configs).expect("baseline converges");
+
+    let (mut harness, rc_full) = EngineHarness::new(w.configs.clone());
+
+    let ports = w.sample_ports(samples, seed);
+    let mut avg = BTreeMap::new();
+    for change in w.changes() {
+        let mut total = Duration::ZERO;
+        for port in &ports {
+            let (apply, restore) = w.change_at(change, port);
+            total += harness.apply(&apply);
+            harness.apply(&restore);
+            harness.engine.compact();
+        }
+        avg.insert(change.label(), total / ports.len() as u32);
+    }
+
+    Table2Row {
+        proto: match proto {
+            ProtocolChoice::Ospf => "OSPF".into(),
+            ProtocolChoice::Rip => "RIP".into(),
+            ProtocolChoice::Bgp => "BGP".into(),
+        },
+        k,
+        nodes: w.topo.num_devices(),
+        links: w.topo.num_links(),
+        baseline_full_us: baseline_full.as_micros(),
+        rc_full_us: rc_full.as_micros(),
+        link_failure_us: avg["LinkFailure"].as_micros(),
+        lc_lp_us: avg
+            .iter()
+            .find(|(l, _)| **l != "LinkFailure")
+            .map(|(_, d)| d.as_micros())
+            .unwrap_or_default(),
+        samples: ports.len(),
+    }
+}
+
+/// One change-type row of Table 3 (per update order).
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3Row {
+    pub change: String,
+    pub order: String,
+    pub rules_inserted: usize,
+    pub rules_removed: usize,
+    pub rules_total: usize,
+    /// EC move events (the order-sensitive churn the paper reports as
+    /// "#ECs").
+    pub ec_moves: usize,
+    /// Net affected ECs.
+    pub affected_ecs: usize,
+    /// Model update time (T1), µs.
+    pub t1_us: u128,
+    pub affected_pairs: usize,
+    pub total_pairs: usize,
+    /// Policy checking time (T2), µs.
+    pub t2_us: u128,
+    /// Ablation: time of a non-incremental full policy recheck on the
+    /// same state, µs (what T2 would cost without incrementality).
+    pub t2_full_us: u128,
+    pub samples: usize,
+}
+
+/// Regenerate Table 3: model update + policy checking on the BGP fat
+/// tree, for both update orders, averaged over sampled changes.
+pub fn run_table3(k: u32, samples: usize, seed: u64) -> Vec<Table3Row> {
+    let w = Workload::fat_tree(k, ProtocolChoice::Bgp);
+    let ports = w.sample_ports(samples, seed);
+    let mut rows = Vec::new();
+
+    for change in [PaperChange::LinkFailure, PaperChange::LocalPref] {
+        for order in [UpdateOrder::InsertFirst, UpdateOrder::DeleteFirst] {
+            let (mut rc, _) =
+                RealConfig::with_order(w.configs.clone(), order).expect("workload verifies");
+            let mut acc = Table3Row {
+                change: change.label().into(),
+                order: match order {
+                    UpdateOrder::InsertFirst => "+,-".into(),
+                    UpdateOrder::DeleteFirst => "-,+".into(),
+                    UpdateOrder::AsGiven => "as-given".into(),
+                },
+                rules_inserted: 0,
+                rules_removed: 0,
+                rules_total: rc.num_rules(),
+                ec_moves: 0,
+                affected_ecs: 0,
+                t1_us: 0,
+                affected_pairs: 0,
+                total_pairs: rc.num_pairs(),
+                t2_us: 0,
+                t2_full_us: 0,
+                samples: ports.len(),
+            };
+            for port in &ports {
+                let (apply, restore) = w.change_at(change, port);
+                let report = rc.apply_change(&apply).expect("verifies");
+                acc.rules_inserted += report.rules_inserted;
+                acc.rules_removed += report.rules_removed;
+                acc.ec_moves += report.ec_moves;
+                acc.affected_ecs += report.affected_ecs;
+                acc.t1_us += report.model_update.as_micros();
+                acc.affected_pairs += report.affected_pairs;
+                acc.t2_us += report.policy_check.as_micros();
+                rc.apply_change(&restore).expect("verifies");
+                rc.compact();
+            }
+            // Ablation: what would checking cost without
+            // incrementality? One full recheck on the settled state.
+            let t = Instant::now();
+            rc.recheck_policies();
+            acc.t2_full_us = t.elapsed().as_micros();
+
+            let n = ports.len();
+            acc.rules_inserted /= n;
+            acc.rules_removed /= n;
+            acc.ec_moves /= n;
+            acc.affected_ecs /= n;
+            acc.t1_us /= n as u128;
+            acc.affected_pairs /= n;
+            acc.t2_us /= n as u128;
+            rows.push(acc);
+        }
+    }
+    rows
+}
+
+/// Format a duration in the paper's style.
+pub fn fmt_us(us: u128) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_smoke_ospf() {
+        let row = run_table2(4, ProtocolChoice::Ospf, 2, 7);
+        assert_eq!(row.nodes, 20);
+        assert!(row.rc_full_us > 0);
+        assert!(row.link_failure_us > 0);
+        // Incremental must be cheaper than full even at toy scale.
+        assert!(row.link_failure_us < row.rc_full_us);
+    }
+
+    #[test]
+    fn table3_smoke() {
+        let rows = run_table3(4, 2, 7);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            assert!(r.rules_total > 0);
+            assert!(r.total_pairs > 0);
+        }
+        // Ordering effect: deletion-first does at least as many EC
+        // moves as insertion-first for the same change type.
+        for pair in rows.chunks(2) {
+            assert!(pair[1].ec_moves >= pair[0].ec_moves, "{pair:?}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! `realconfig` — command-line incremental network configuration
+//! verifier.
+//!
+//! ```text
+//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]...
+//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json]
+//! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]
+//! ```
+//!
+//! A configuration directory holds one `<hostname>.cfg` per device.
+//! `verify` runs a full verification; `diff` verifies the transition
+//! from the old directory's configurations to the new directory's
+//! incrementally, reporting per-stage timings, affected counts, and
+//! policy verdict changes; `trace` follows one packet through the
+//! current data plane.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+use rc_netcfg::parser::parse_config;
+use rc_netcfg::DeviceConfig;
+use realconfig::{PacketClass, Packet, Policy, Prefix, RealConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]...\n  \
+                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json]\n  \
+                 realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(violated) if violated => ExitCode::FAILURE,
+        Ok(_) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+type AnyError = Box<dyn std::error::Error>;
+
+/// Load every `*.cfg` in a directory.
+fn load_dir(dir: &str) -> Result<BTreeMap<String, DeviceConfig>, AnyError> {
+    let mut configs = BTreeMap::new();
+    let mut entries: Vec<_> = std::fs::read_dir(Path::new(dir))
+        .map_err(|e| format!("cannot read {dir}: {e}"))?
+        .collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cfg") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path)?;
+        let cfg = parse_config(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        if cfg.hostname.is_empty() {
+            return Err(format!("{}: missing hostname", path.display()).into());
+        }
+        configs.insert(cfg.hostname.clone(), cfg);
+    }
+    if configs.is_empty() {
+        return Err(format!("{dir}: no .cfg files found").into());
+    }
+    Ok(configs)
+}
+
+/// Parse repeated `--policy reach:SRC:DST:PREFIX` /
+/// `--policy isolate:SRC:DST:PREFIX` flags.
+fn parse_policies(args: &[String]) -> Result<Vec<(String, String, String, Prefix, bool)>, AnyError> {
+    let mut policies = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--policy" {
+            let spec = args.get(i + 1).ok_or("--policy needs an argument")?;
+            let parts: Vec<&str> = spec.split(':').collect();
+            match parts.as_slice() {
+                [kind @ ("reach" | "isolate"), src, dst, prefix] => {
+                    let p: Prefix =
+                        prefix.parse().map_err(|_| format!("bad prefix in {spec:?}"))?;
+                    policies.push((
+                        kind.to_string(),
+                        src.to_string(),
+                        dst.to_string(),
+                        p,
+                        *kind == "reach",
+                    ));
+                }
+                _ => return Err(format!("bad policy spec {spec:?}").into()),
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(policies)
+}
+
+fn register_policies(
+    rc: &mut RealConfig,
+    specs: &[(String, String, String, Prefix, bool)],
+) -> Result<Vec<(String, realconfig::PolicyId)>, AnyError> {
+    let mut out = Vec::new();
+    for (kind, src, dst, prefix, is_reach) in specs {
+        let s = rc.node(src).ok_or_else(|| format!("unknown device {src:?}"))?;
+        let d = rc.node(dst).ok_or_else(|| format!("unknown device {dst:?}"))?;
+        let class = PacketClass::DstPrefix(*prefix);
+        let id = rc.add_policy(if *is_reach {
+            Policy::Reachability { src: s, dst: d, class }
+        } else {
+            Policy::Isolation { src: s, dst: d, class }
+        });
+        out.push((format!("{kind}:{src}:{dst}:{prefix}"), id));
+    }
+    rc.recheck_policies();
+    Ok(out)
+}
+
+fn cmd_verify(args: &[String]) -> Result<bool, AnyError> {
+    let dir = args.first().ok_or("verify needs a config directory")?;
+    let configs = load_dir(dir)?;
+    let n = configs.len();
+    let (mut rc, report) =
+        RealConfig::new(configs).map_err(|e| format!("verification failed: {e}"))?;
+    println!("{n} devices verified.");
+    println!("  data plane generation : {:?} ({} FIB entries)", report.dp_gen, report.fib_entries);
+    println!("  model update          : {:?} ({} ECs, {} rules)", report.model_update, report.ecs, report.rules);
+    println!("  policy check          : {:?} ({} reachable pairs)", report.policy_check, report.pairs);
+    for w in &report.warnings {
+        println!("  warning: {w}");
+    }
+    let policies = register_policies(&mut rc, &parse_policies(args)?)?;
+    let mut violated = false;
+    for (name, id) in &policies {
+        let ok = rc.is_satisfied(*id);
+        violated |= !ok;
+        println!("  policy {name}: {}", if ok { "SATISFIED" } else { "VIOLATED" });
+    }
+    Ok(violated)
+}
+
+fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
+    let old_dir = args.first().ok_or("diff needs <old-dir> <new-dir>")?;
+    let new_dir = args.get(1).ok_or("diff needs <old-dir> <new-dir>")?;
+    let json = args.iter().any(|a| a == "--json");
+    let old = load_dir(old_dir)?;
+    let new = load_dir(new_dir)?;
+
+    let (mut rc, _) =
+        RealConfig::new(old).map_err(|e| format!("old configs do not verify: {e}"))?;
+    let policies = register_policies(&mut rc, &parse_policies(args)?)?;
+
+    let report =
+        rc.apply_configs(new).map_err(|e| format!("change verification failed: {e}"))?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&report)?);
+    } else {
+        println!(
+            "config lines +{}/−{}  →  {} fact changes",
+            report.lines_inserted, report.lines_deleted, report.fact_changes
+        );
+        println!(
+            "stage 1 (dp gen)      : {:?}, rules +{}/−{}",
+            report.dp_gen, report.rules_inserted, report.rules_removed
+        );
+        println!(
+            "stage 2 (model update): {:?}, {} affected ECs ({} moves, {} splits)",
+            report.model_update, report.affected_ecs, report.ec_moves, report.ec_splits
+        );
+        println!(
+            "stage 3 (policy check): {:?}, {}/{} pairs affected",
+            report.policy_check, report.affected_pairs, report.total_pairs
+        );
+        println!("total incremental verification: {:?}", report.total());
+        for w in &report.warnings {
+            println!("warning: {w}");
+        }
+    }
+    let mut violated = false;
+    for (name, id) in &policies {
+        let ok = rc.is_satisfied(*id);
+        violated |= !ok;
+        let newly = if report.newly_violated.contains(&id.0) {
+            "  (NEWLY violated by this change)"
+        } else if report.newly_satisfied.contains(&id.0) {
+            "  (newly satisfied by this change)"
+        } else {
+            ""
+        };
+        println!("policy {name}: {}{newly}", if ok { "SATISFIED" } else { "VIOLATED" });
+    }
+    Ok(violated)
+}
+
+fn cmd_trace(args: &[String]) -> Result<bool, AnyError> {
+    let dir = args.first().ok_or("trace needs a config directory")?;
+    let mut from = None;
+    let mut dst = None;
+    let mut proto = 6u8;
+    let mut dport = 0u16;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => {
+                from = Some(args.get(i + 1).ok_or("--from needs a device")?.clone());
+                i += 2;
+            }
+            "--dst" => {
+                dst = Some(args.get(i + 1).ok_or("--dst needs an address")?.clone());
+                i += 2;
+            }
+            "--proto" => {
+                proto = args.get(i + 1).ok_or("--proto needs a number")?.parse()?;
+                i += 2;
+            }
+            "--dport" => {
+                dport = args.get(i + 1).ok_or("--dport needs a number")?.parse()?;
+                i += 2;
+            }
+            other => return Err(format!("unknown trace argument {other:?}").into()),
+        }
+    }
+    let from = from.ok_or("trace needs --from DEV")?;
+    let dst: rc_netcfg::Ip =
+        dst.ok_or("trace needs --dst A.B.C.D")?.parse().map_err(|e| format!("{e}"))?;
+
+    let configs = load_dir(dir)?;
+    let (rc, _) = RealConfig::new(configs).map_err(|e| format!("{e}"))?;
+    let packet = Packet { dst_ip: dst.0, proto, dst_port: dport, ..Default::default() };
+    let trace =
+        rc.trace_packet(&from, packet).ok_or_else(|| format!("unknown device {from:?}"))?;
+    print!("{trace}");
+    if trace.loops {
+        println!("warning: the packet can LOOP");
+    }
+    Ok(trace.delivered_at.is_empty())
+}

@@ -1,0 +1,420 @@
+//! The RealConfig verifier: configurations in, incremental verification
+//! reports out.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+use rc_apkeep::{ApkModel, RuleUpdate, UpdateOrder};
+use rc_netcfg::change::{ChangeError, ChangeSet};
+use rc_netcfg::facts::{fact_delta, lower, Fact, Registry};
+use rc_netcfg::linediff::diff_lines;
+use rc_netcfg::parser::{parse_config, ParseError};
+use rc_netcfg::printer::print_config;
+use rc_netcfg::types::{NodeId, Port, Prefix};
+use rc_netcfg::DeviceConfig;
+use rc_policy::{PacketClass, Policy, PolicyChecker, PolicyId};
+use rc_routing::engine::RoutingEngine;
+use rc_routing::route::FibEntry;
+
+use crate::convert::{filter_rule, FibGrouper};
+use crate::report::{ChangeReport, FullReport};
+
+/// Verifier errors.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration failed to parse.
+    Parse(ParseError),
+    /// A change operation could not be applied (the verifier state is
+    /// unchanged).
+    Change(ChangeError),
+    /// The control plane failed to converge. The verifier's internal
+    /// state is poisoned — rebuild it from the last good configurations.
+    Divergence(rc_dataflow::EvalError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "parse error: {e}"),
+            Error::Change(e) => write!(f, "change error: {e}"),
+            Error::Divergence(e) => write!(f, "control plane divergence: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ChangeError> for Error {
+    fn from(e: ChangeError) -> Self {
+        Error::Change(e)
+    }
+}
+
+impl From<rc_dataflow::EvalError> for Error {
+    fn from(e: rc_dataflow::EvalError) -> Self {
+        Error::Divergence(e)
+    }
+}
+
+/// How many changes the verifier absorbs before folding engine history
+/// (see [`RealConfig::set_auto_compact`]). Compaction keeps per-change
+/// latency flat over long change streams at the cost of a periodic
+/// sweep; 64 keeps the sweep amortized well under the incremental work.
+pub const DEFAULT_AUTO_COMPACT: u32 = 64;
+
+/// The incremental network configuration verifier (the paper's
+/// RealConfig): chains the incremental data plane generator, the
+/// incremental EC model updater and the incremental policy checker.
+pub struct RealConfig {
+    configs: BTreeMap<String, DeviceConfig>,
+    registry: Registry,
+    facts: BTreeSet<Fact>,
+    warnings: BTreeSet<String>,
+    engine: RoutingEngine,
+    model: ApkModel,
+    checker: PolicyChecker,
+    grouper: FibGrouper,
+    devices: BTreeSet<NodeId>,
+    update_order: UpdateOrder,
+    /// Compact engine history every this many changes (None: never).
+    auto_compact: Option<u32>,
+    changes_since_compact: u32,
+}
+
+impl RealConfig {
+    /// Build the verifier and run the initial full verification.
+    pub fn new(configs: BTreeMap<String, DeviceConfig>) -> Result<(Self, FullReport), Error> {
+        Self::with_order(configs, UpdateOrder::InsertFirst)
+    }
+
+    /// [`RealConfig::new`] with an explicit data plane model update
+    /// order (insertion-first is the fast one; Table 3 quantifies why).
+    pub fn with_order(
+        configs: BTreeMap<String, DeviceConfig>,
+        update_order: UpdateOrder,
+    ) -> Result<(Self, FullReport), Error> {
+        let mut rc = RealConfig {
+            configs: BTreeMap::new(),
+            registry: Registry::new(),
+            facts: BTreeSet::new(),
+            warnings: BTreeSet::new(),
+            engine: RoutingEngine::new(),
+            model: ApkModel::new(),
+            checker: PolicyChecker::new(),
+            grouper: FibGrouper::default(),
+            devices: BTreeSet::new(),
+            update_order,
+            auto_compact: Some(DEFAULT_AUTO_COMPACT),
+            changes_since_compact: 0,
+        };
+        let mut report = FullReport::default();
+
+        let lowered = lower(&configs, &mut rc.registry);
+        rc.warnings = lowered.warnings.iter().map(|w| w.to_string()).collect();
+        report.warnings = rc.warnings.iter().cloned().collect();
+
+        let t = Instant::now();
+        let stats = rc.engine.apply(lowered.facts.iter().map(|f| (f.clone(), 1)))?;
+        report.dp_gen = t.elapsed();
+        report.dp_records = stats.records;
+
+        rc.facts = lowered.facts;
+        rc.configs = configs;
+        rc.sync_structure_from_delta(
+            &rc.facts.iter().cloned().map(|f| (f, 1)).collect::<Vec<_>>(),
+        );
+
+        let t = Instant::now();
+        let mut updates = rc.grouper.convert(rc.engine.fib_delta());
+        let (fins, _frem) = rc.engine.filter_delta();
+        updates.extend(fins.iter().map(|f| RuleUpdate::Insert(filter_rule(f))));
+        let summary = rc.model.apply_batch(updates, rc.update_order);
+        report.model_update = t.elapsed();
+        report.fib_entries = rc.engine.fib().len();
+        report.rules = rc.model.num_rules();
+        report.ecs = rc.model.num_ecs();
+        let _ = summary;
+
+        let t = Instant::now();
+        let check = rc.checker.check_full(&mut rc.model);
+        report.policy_check = t.elapsed();
+        report.pairs = check.total_pairs;
+        report.violated = check.newly_violated.iter().map(|p| p.0).collect();
+
+        Ok((rc, report))
+    }
+
+    /// Parse configuration texts and build the verifier.
+    pub fn from_texts<'a, I: IntoIterator<Item = &'a str>>(
+        texts: I,
+    ) -> Result<(Self, FullReport), Error> {
+        let mut configs = BTreeMap::new();
+        for t in texts {
+            let cfg = parse_config(t).map_err(Error::Parse)?;
+            configs.insert(cfg.hostname.clone(), cfg);
+        }
+        Self::new(configs)
+    }
+
+    /// Update the checker's device set and link map from a fact delta;
+    /// returns the ECs invalidated by link changes.
+    fn sync_structure_from_delta(&mut self, delta: &[(Fact, isize)]) -> BTreeSet<rc_apkeep::EcId> {
+        let mut link_delta: Vec<(Port, Port, isize)> = Vec::new();
+        let mut devices_changed = false;
+        for (f, r) in delta {
+            match f {
+                Fact::Link { src, dst } => link_delta.push((*src, *dst, *r)),
+                Fact::Device(n) => {
+                    devices_changed = true;
+                    if *r > 0 {
+                        self.devices.insert(*n);
+                    } else {
+                        self.devices.remove(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if devices_changed {
+            self.checker.set_nodes(self.devices.iter().copied());
+        }
+        self.checker.apply_link_delta(&link_delta)
+    }
+
+    /// Verify a configuration change incrementally. On success the
+    /// change is committed; on failure the configurations are left
+    /// untouched (but see [`Error::Divergence`]).
+    pub fn apply_change(&mut self, cs: &ChangeSet) -> Result<ChangeReport, Error> {
+        let mut new_configs = self.configs.clone();
+        cs.apply(&mut new_configs)?;
+        self.apply_configs(new_configs)
+    }
+
+    /// Verify a transition to an arbitrary new configuration set
+    /// incrementally — e.g., files an operator edited by hand. Devices
+    /// may be added or removed; whatever differs is derived from the
+    /// fact delta, exactly as for [`RealConfig::apply_change`].
+    pub fn apply_configs(
+        &mut self,
+        new_configs: BTreeMap<String, DeviceConfig>,
+    ) -> Result<ChangeReport, Error> {
+        let mut report = ChangeReport::default();
+
+        // Textual view of the change (the paper's "insertions or
+        // deletions of configuration lines"). Added or removed devices
+        // diff against an empty configuration.
+        let empty = String::new();
+        for (name, new_cfg) in &new_configs {
+            let old_text =
+                self.configs.get(name).map(print_config).unwrap_or_else(|| empty.clone());
+            let new_text = print_config(new_cfg);
+            if old_text != new_text {
+                let d = diff_lines(&old_text, &new_text);
+                report.lines_inserted += d.insertions();
+                report.lines_deleted += d.deletions();
+            }
+        }
+        for (name, old_cfg) in &self.configs {
+            if !new_configs.contains_key(name) {
+                let d = diff_lines(&print_config(old_cfg), &empty);
+                report.lines_deleted += d.deletions();
+            }
+        }
+
+        // Semantic view: fact delta.
+        let lowered = lower(&new_configs, &mut self.registry);
+        let new_warnings: BTreeSet<String> =
+            lowered.warnings.iter().map(|w| w.to_string()).collect();
+        report.warnings = new_warnings.difference(&self.warnings).cloned().collect();
+        let delta = fact_delta(&self.facts, &lowered.facts);
+        report.fact_changes = delta.len();
+
+        // Stage 1: incremental data plane generation.
+        let t = Instant::now();
+        let stats = self.engine.apply(delta.iter().cloned())?;
+        report.dp_gen = t.elapsed();
+        report.dp_records = stats.records;
+
+        // Commit configuration state (the engine is already committed).
+        self.configs = new_configs;
+        self.facts = lowered.facts;
+        self.warnings = new_warnings;
+        let touched = self.sync_structure_from_delta(&delta);
+
+        // Stage 2: incremental model update.
+        let t = Instant::now();
+        let mut updates = self.grouper.convert(self.engine.fib_delta());
+        let (fins, frem) = self.engine.filter_delta();
+        updates.extend(frem.iter().map(|f| RuleUpdate::Remove(filter_rule(f))));
+        updates.extend(fins.iter().map(|f| RuleUpdate::Insert(filter_rule(f))));
+        report.rules_inserted = updates.iter().filter(|u| u.is_insert()).count();
+        report.rules_removed = updates.len() - report.rules_inserted;
+        let summary = self.model.apply_batch(updates, self.update_order);
+        report.model_update = t.elapsed();
+        report.ec_moves = summary.ec_moves;
+        report.ec_splits = summary.ec_splits;
+        report.affected_ecs = summary.affected.len();
+
+        // Stage 3: incremental policy checking.
+        let t = Instant::now();
+        let check = self.checker.check_incremental(&mut self.model, &summary, touched);
+        report.policy_check = t.elapsed();
+        report.affected_pairs = check.affected_pairs;
+        report.changed_pairs = check.changed_pairs;
+        report.total_pairs = check.total_pairs;
+        report.policies_checked = check.policies_checked;
+        report.newly_violated = check.newly_violated.iter().map(|p| p.0).collect();
+        report.newly_satisfied = check.newly_satisfied.iter().map(|p| p.0).collect();
+
+        // Periodic history compaction keeps long change streams flat
+        // (see the `churn` benchmark).
+        self.changes_since_compact += 1;
+        if let Some(every) = self.auto_compact {
+            if self.changes_since_compact >= every {
+                self.engine.compact();
+                self.changes_since_compact = 0;
+            }
+        }
+
+        Ok(report)
+    }
+
+    /// Register a policy (by device ids; see [`RealConfig::node`]).
+    pub fn add_policy(&mut self, policy: Policy) -> PolicyId {
+        self.checker.add_policy(&mut self.model, policy)
+    }
+
+    /// Convenience: "packets from `src` to `dst_prefix` must reach
+    /// `dst`".
+    pub fn require_reachability(
+        &mut self,
+        src: &str,
+        dst: &str,
+        dst_prefix: Prefix,
+    ) -> Option<PolicyId> {
+        let src = self.node(src)?;
+        let dst = self.node(dst)?;
+        Some(self.add_policy(Policy::Reachability {
+            src,
+            dst,
+            class: PacketClass::DstPrefix(dst_prefix),
+        }))
+    }
+
+    /// Re-evaluate all policies from scratch (e.g., after registering
+    /// policies post-construction).
+    pub fn recheck_policies(&mut self) -> rc_policy::CheckReport {
+        self.checker.check_full(&mut self.model)
+    }
+
+    /// Device id for a hostname.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        self.registry.try_node(name)
+    }
+
+    /// Hostname for a device id.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        self.registry.node_name(id)
+    }
+
+    /// Current configurations.
+    pub fn configs(&self) -> &BTreeMap<String, DeviceConfig> {
+        &self.configs
+    }
+
+    /// Current complete FIB (per-ECMP-leg entries).
+    pub fn fib(&self) -> BTreeSet<FibEntry> {
+        self.engine.fib()
+    }
+
+    /// Current grouped FIB rule count (the "#Rules" denominator of
+    /// Table 3).
+    pub fn num_rules(&self) -> usize {
+        self.model.num_rules()
+    }
+
+    /// ECs currently in the data plane model.
+    pub fn num_ecs(&self) -> usize {
+        self.model.num_ecs()
+    }
+
+    /// (src, dst) pairs with deliverable traffic (Table 3's "#Pairs"
+    /// denominator).
+    pub fn num_pairs(&self) -> usize {
+        self.checker.num_pairs()
+    }
+
+    /// Whether any EC currently delivers traffic from `src` to `dst`.
+    pub fn pair_reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.checker.pair_ecs(src, dst).is_some()
+    }
+
+    /// Whether a policy currently holds.
+    pub fn is_satisfied(&self, id: PolicyId) -> bool {
+        self.checker.is_satisfied(id)
+    }
+
+    /// Current input fact set (for external oracles).
+    pub fn facts(&self) -> &BTreeSet<Fact> {
+        &self.facts
+    }
+
+    /// Interface name for an interned id.
+    pub fn iface_name(&self, id: rc_netcfg::types::IfaceId) -> &str {
+        self.registry.iface_name(id)
+    }
+
+    pub(crate) fn model(&self) -> &ApkModel {
+        &self.model
+    }
+
+    pub(crate) fn checker(&self) -> &PolicyChecker {
+        &self.checker
+    }
+
+    /// Grouped FIB rules currently installed (one per (device, prefix),
+    /// ECMP folded into one logical rule).
+    pub fn num_fib_rules(&self) -> usize {
+        self.grouper.len()
+    }
+
+    /// Compact the incremental engine's internal history (bounds memory
+    /// over long change sequences; behaviour is unaffected). Also
+    /// happens automatically — see [`RealConfig::set_auto_compact`].
+    pub fn compact(&mut self) {
+        self.engine.compact();
+        self.changes_since_compact = 0;
+    }
+
+    /// Configure automatic history compaction: fold engine history
+    /// after every `interval` changes, or never (`None`). The default
+    /// is [`DEFAULT_AUTO_COMPACT`].
+    pub fn set_auto_compact(&mut self, interval: Option<u32>) {
+        self.auto_compact = interval;
+    }
+}
+
+/// Compute the full data plane from scratch with the custom-algorithm
+/// baseline (the "Batfish" column of Table 2).
+pub fn full_dataplane_baseline(
+    configs: &BTreeMap<String, DeviceConfig>,
+) -> Result<(std::time::Duration, usize), rc_routing::baseline::BaselineDivergence> {
+    let mut reg = Registry::new();
+    let lowered = lower(configs, &mut reg);
+    let t = Instant::now();
+    let dp = rc_routing::baseline::compute(&lowered.facts)?;
+    Ok((t.elapsed(), dp.fib.len()))
+}
+
+/// Compute the full data plane from scratch with the general-purpose
+/// incremental engine (the "RealConfig Full" column of Table 2).
+pub fn full_dataplane_realconfig(
+    configs: &BTreeMap<String, DeviceConfig>,
+) -> Result<(std::time::Duration, usize), Error> {
+    let mut reg = Registry::new();
+    let lowered = lower(configs, &mut reg);
+    let mut engine = RoutingEngine::new();
+    let t = Instant::now();
+    engine.apply(lowered.facts.iter().map(|f| (f.clone(), 1)))?;
+    Ok((t.elapsed(), engine.fib().len()))
+}

@@ -1,0 +1,153 @@
+//! Difference (multiset-change) utilities.
+//!
+//! Every record flowing through the engine is a `(data, time, diff)`
+//! triple; `diff` is a signed multiplicity change. Collections are the
+//! accumulation of their difference history.
+
+use crate::time::Time;
+
+/// Signed multiplicity change.
+pub type Diff = isize;
+
+/// A timestamped difference record.
+pub type Delta<D> = (D, Time, Diff);
+
+/// The `Data` bound required of everything flowing through a dataflow:
+/// cheap to clone, totally ordered (for consolidation), hashable (for
+/// keyed state) and owned.
+pub trait Data: Clone + Ord + std::hash::Hash + std::fmt::Debug + 'static {}
+impl<T: Clone + Ord + std::hash::Hash + std::fmt::Debug + 'static> Data for T {}
+
+/// Sum the diffs of equal `(data, time)` pairs and drop zeros, in place.
+pub fn consolidate<D: Data>(deltas: &mut Vec<Delta<D>>) {
+    if deltas.len() <= 1 {
+        deltas.retain(|(_, _, r)| *r != 0);
+        return;
+    }
+    deltas.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+    let mut write = 0;
+    let mut read = 0;
+    while read < deltas.len() {
+        let mut run_end = read + 1;
+        let mut sum = deltas[read].2;
+        while run_end < deltas.len()
+            && deltas[run_end].0 == deltas[read].0
+            && deltas[run_end].1 == deltas[read].1
+        {
+            sum += deltas[run_end].2;
+            run_end += 1;
+        }
+        if sum != 0 {
+            deltas.swap(write, read);
+            deltas[write].2 = sum;
+            write += 1;
+        }
+        read = run_end;
+    }
+    deltas.truncate(write);
+}
+
+/// Sum the diffs of equal values (ignoring time) and drop zeros, in
+/// place. Used for accumulated views.
+pub fn consolidate_values<D: Data>(values: &mut Vec<(D, Diff)>) {
+    if values.len() <= 1 {
+        values.retain(|(_, r)| *r != 0);
+        return;
+    }
+    values.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut write = 0;
+    let mut read = 0;
+    while read < values.len() {
+        let mut run_end = read + 1;
+        let mut sum = values[read].1;
+        while run_end < values.len() && values[run_end].0 == values[read].0 {
+            sum += values[run_end].1;
+            run_end += 1;
+        }
+        if sum != 0 {
+            values.swap(write, read);
+            values[write].1 = sum;
+            write += 1;
+        }
+        read = run_end;
+    }
+    values.truncate(write);
+}
+
+/// Multiset difference of two consolidated, sorted `(value, count)`
+/// lists: `a ⊖ b`. Both inputs must be sorted by value with no
+/// duplicates; the output is likewise.
+pub fn value_delta<D: Data>(a: &[(D, Diff)], b: &[(D, Diff)]) -> Vec<(D, Diff)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => match x.0.cmp(&y.0) {
+                std::cmp::Ordering::Less => {
+                    out.push(x.clone());
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((y.0.clone(), -y.1));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if x.1 != y.1 {
+                        out.push((x.0.clone(), x.1 - y.1));
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            },
+            (Some(x), None) => {
+                out.push(x.clone());
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push((y.0.clone(), -y.1));
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(e: u64) -> Time {
+        Time::new(e, 0)
+    }
+
+    #[test]
+    fn consolidate_merges_and_drops_zeros() {
+        let mut v = vec![("a", t(1), 2), ("b", t(1), 1), ("a", t(1), -2), ("b", t(2), 1)];
+        consolidate(&mut v);
+        assert_eq!(v, vec![("b", t(1), 1), ("b", t(2), 1)]);
+    }
+
+    #[test]
+    fn consolidate_keeps_distinct_times() {
+        let mut v = vec![("a", t(1), 1), ("a", t(2), -1)];
+        consolidate(&mut v);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn consolidate_values_ignores_time() {
+        let mut v = vec![("a", 1), ("a", -1), ("b", 3)];
+        consolidate_values(&mut v);
+        assert_eq!(v, vec![("b", 3)]);
+    }
+
+    #[test]
+    fn value_delta_subtracts() {
+        let a = vec![("a", 1), ("b", 2)];
+        let b = vec![("b", 1), ("c", 1)];
+        assert_eq!(value_delta(&a, &b), vec![("a", 1), ("b", 1), ("c", -1)]);
+        assert_eq!(value_delta(&a, &a), vec![]);
+        assert_eq!(value_delta(&[], &b), vec![("b", -1), ("c", -1)]);
+    }
+}

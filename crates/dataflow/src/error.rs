@@ -1,0 +1,46 @@
+//! Evaluation errors.
+
+/// An error raised while advancing a dataflow epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// An `iterate` scope failed to reach a fixed point within its
+    /// iteration cap. For control-plane models this is the signal the
+    /// paper's §6 discusses: a routing protocol that does not converge
+    /// (e.g., a BGP preference cycle) shows up as Datalog
+    /// nontermination, which the engine surfaces instead of looping
+    /// forever.
+    Divergence {
+        /// The cap that was exceeded.
+        iterations: u32,
+    },
+    /// An `iterate` scope revisited a state it had already been in:
+    /// the computation oscillates with a fixed period and will never
+    /// converge. Detecting the recurrence reports the bug orders of
+    /// magnitude sooner than waiting for the iteration cap (the
+    /// paper's §6 "recurring state detection" future work).
+    RecurringState {
+        /// The oscillation period, in iterations.
+        period: u32,
+        /// The iteration at which the recurrence was confirmed.
+        iteration: u32,
+    },
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Divergence { iterations } => write!(
+                f,
+                "iterative computation did not reach a fixed point within {iterations} iterations \
+                 (divergent control plane?)"
+            ),
+            EvalError::RecurringState { period, iteration } => write!(
+                f,
+                "iterative computation revisited a previous state at iteration {iteration} \
+                 (oscillation with period {period}) — the control plane cannot converge"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}

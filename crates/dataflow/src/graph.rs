@@ -1,0 +1,226 @@
+//! Dataflow graph plumbing: edges, node registry, and the epoch driver.
+//!
+//! The engine is single-threaded and epoch-synchronous. Nodes are stored
+//! in creation order, which is a topological order of the (acyclic,
+//! feedback-excepted) graph, so one pass per logical time suffices:
+//! every producer runs before its consumers.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::delta::{Data, Delta};
+use crate::error::EvalError;
+use crate::time::Time;
+
+/// A typed edge: producers push difference records, the (single)
+/// consumer drains them on its step.
+pub(crate) type Queue<D> = Rc<RefCell<Vec<Delta<D>>>>;
+
+pub(crate) fn new_queue<D: Data>() -> Queue<D> {
+    Rc::new(RefCell::new(Vec::new()))
+}
+
+/// The produce side of a collection: a list of subscriber queues.
+/// Subscribing after creation is allowed (used to close feedback loops).
+pub(crate) struct Fanout<D: Data> {
+    subscribers: Rc<RefCell<Vec<Queue<D>>>>,
+}
+
+impl<D: Data> Clone for Fanout<D> {
+    fn clone(&self) -> Self {
+        Fanout { subscribers: Rc::clone(&self.subscribers) }
+    }
+}
+
+impl<D: Data> Fanout<D> {
+    pub fn new() -> Self {
+        Fanout { subscribers: Rc::new(RefCell::new(Vec::new())) }
+    }
+
+    /// Add a subscriber and return its queue.
+    pub fn subscribe(&self) -> Queue<D> {
+        let q = new_queue();
+        self.subscribers.borrow_mut().push(Rc::clone(&q));
+        q
+    }
+
+    /// Attach an existing queue (used to wire a loop variable's feedback
+    /// edge after the loop body has been built).
+    pub fn attach(&self, q: &Queue<D>) {
+        self.subscribers.borrow_mut().push(Rc::clone(q));
+    }
+
+    /// Push a batch to every subscriber.
+    pub fn emit(&self, batch: &[Delta<D>]) {
+        if batch.is_empty() {
+            return;
+        }
+        let subs = self.subscribers.borrow();
+        match subs.as_slice() {
+            [] => {}
+            [only] => only.borrow_mut().extend_from_slice(batch),
+            many => {
+                for q in many {
+                    q.borrow_mut().extend_from_slice(batch);
+                }
+            }
+        }
+    }
+}
+
+/// The behaviour every operator implements. `step` is called once per
+/// logical time; between steps, upstream operators have already pushed
+/// everything at times `≤ now` into this operator's input queues.
+pub(crate) trait OpNode {
+    /// Process queued input at logical time `now`, emitting outputs.
+    fn step(&mut self, now: Time) -> Result<(), EvalError>;
+
+    /// Whether any input queue holds unprocessed records.
+    fn has_queued(&self) -> bool;
+
+    /// The smallest iteration of `epoch` at which this operator holds
+    /// internal pending work (deferred emissions or unprocessed
+    /// interesting times), if any. Drives loop scheduling: a fixpoint
+    /// scope may not terminate while some operator still owes
+    /// corrections at a future iteration.
+    fn pending_iter(&self, epoch: u64) -> Option<u32>;
+
+    /// Called by an enclosing scope after its fixpoint loop completes
+    /// for `epoch`. Used by egress nodes to release consolidated output.
+    fn flush_scope(&mut self, _epoch: u64) {}
+
+    /// Called once per epoch after all processing; checks invariants.
+    fn end_epoch(&mut self, epoch: u64);
+
+    /// Fold history at epochs `≤ frontier` down to epoch 0.
+    fn compact(&mut self, frontier: u64);
+
+    /// Cumulative count of records processed (a machine-independent
+    /// work measure reported by the benchmarks).
+    fn work(&self) -> u64;
+
+    /// An order-insensitive digest of the differences this operator
+    /// emitted during its most recent `step`, or `None` when it emitted
+    /// nothing. Only the feedback (`delay`) operator implements this —
+    /// the loop variable's delta stream determines the loop state, so
+    /// recurring digests reveal oscillation.
+    fn step_digest(&self) -> Option<u64> {
+        None
+    }
+
+    /// Operator name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Shared, build-time mutable graph state. Collections hold a weak
+/// reference so combinator methods can register operators.
+pub(crate) struct GraphState {
+    /// Stack of node lists: index 0 is the top level; an entry is pushed
+    /// while an `iterate` scope is being built.
+    stacks: Vec<Vec<Box<dyn OpNode>>>,
+}
+
+impl GraphState {
+    fn new() -> Self {
+        GraphState { stacks: vec![Vec::new()] }
+    }
+
+    pub fn register(&mut self, node: Box<dyn OpNode>) {
+        self.stacks.last_mut().expect("graph has no scope").push(node);
+    }
+
+    pub fn push_scope(&mut self) {
+        assert!(self.stacks.len() == 1, "nested iterate scopes are not supported");
+        self.stacks.push(Vec::new());
+    }
+
+    pub fn pop_scope(&mut self) -> Vec<Box<dyn OpNode>> {
+        assert!(self.stacks.len() > 1, "pop_scope without push_scope");
+        self.stacks.pop().expect("scope stack empty")
+    }
+
+    pub fn in_scope(&self) -> bool {
+        self.stacks.len() > 1
+    }
+}
+
+/// Statistics for one `advance` call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// The epoch that was just computed.
+    pub epoch: u64,
+    /// Records processed during this epoch (work measure).
+    pub records: u64,
+}
+
+/// A single-threaded differential dataflow instance.
+///
+/// Build the graph with [`Dataflow::input`] and the combinators on
+/// [`crate::Collection`], then feed changes through the input handles
+/// and call [`Dataflow::advance`] once per batch of changes. Each
+/// `advance` incrementally brings every derived collection (and
+/// [`crate::OutputHandle`]) up to date.
+pub struct Dataflow {
+    state: Rc<RefCell<GraphState>>,
+    epoch: u64,
+    work_baseline: u64,
+}
+
+impl Default for Dataflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dataflow {
+    /// Create an empty dataflow.
+    pub fn new() -> Self {
+        Dataflow { state: Rc::new(RefCell::new(GraphState::new())), epoch: 0, work_baseline: 0 }
+    }
+
+    pub(crate) fn state(&self) -> &Rc<RefCell<GraphState>> {
+        &self.state
+    }
+
+    /// The last completed epoch (0 before any `advance`).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Run one epoch: all changes pushed into input handles since the
+    /// previous `advance` take effect atomically, and all derived state
+    /// is updated incrementally.
+    pub fn advance(&mut self) -> Result<EpochStats, EvalError> {
+        self.epoch += 1;
+        let now = Time::new(self.epoch, 0);
+        let mut st = self.state.borrow_mut();
+        assert!(!st.in_scope(), "advance called while an iterate scope is still being built");
+        let nodes = &mut st.stacks[0];
+        for node in nodes.iter_mut() {
+            node.step(now)?;
+        }
+        for node in nodes.iter_mut() {
+            node.end_epoch(self.epoch);
+        }
+        let total: u64 = nodes.iter().map(|n| n.work()).sum();
+        let records = total - self.work_baseline;
+        self.work_baseline = total;
+        Ok(EpochStats { epoch: self.epoch, records })
+    }
+
+    /// Cumulative records processed across all epochs.
+    pub fn total_work(&self) -> u64 {
+        self.state.borrow().stacks[0].iter().map(|n| n.work()).sum()
+    }
+
+    /// Compact all operator state below the current epoch. Sound only
+    /// between `advance` calls (which is the only time it can be
+    /// called, given `&mut self`).
+    pub fn compact(&mut self) {
+        let mut st = self.state.borrow_mut();
+        let frontier = self.epoch;
+        for node in st.stacks[0].iter_mut() {
+            node.compact(frontier);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Multiset union of any number of collections.
+
+use crate::delta::{consolidate, Data};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode, Queue};
+use crate::time::Time;
+
+pub(crate) struct ConcatNode<D: Data> {
+    inputs: Vec<Queue<D>>,
+    output: Fanout<D>,
+    work: u64,
+}
+
+impl<D: Data> ConcatNode<D> {
+    pub fn new(inputs: Vec<Queue<D>>, output: Fanout<D>) -> Self {
+        ConcatNode { inputs, output, work: 0 }
+    }
+}
+
+impl<D: Data> OpNode for ConcatNode<D> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let mut staging = Vec::new();
+        for q in &self.inputs {
+            staging.append(&mut q.borrow_mut());
+        }
+        if staging.is_empty() {
+            return Ok(());
+        }
+        debug_assert!(staging.iter().all(|(_, t, _)| t.leq(now)), "concat: late record");
+        self.work += staging.len() as u64;
+        consolidate(&mut staging);
+        self.output.emit(&staging);
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        self.inputs.iter().any(|q| !q.borrow().is_empty())
+    }
+
+    fn pending_iter(&self, _epoch: u64) -> Option<u32> {
+        None
+    }
+
+    fn end_epoch(&mut self, _epoch: u64) {
+        debug_assert!(!self.has_queued(), "concat: input left queued");
+    }
+
+    fn compact(&mut self, _frontier: u64) {}
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn name(&self) -> &'static str {
+        "concat"
+    }
+}

@@ -1,0 +1,95 @@
+//! The feedback operator: re-timestamps differences to the next
+//! iteration. Only used inside `iterate` scopes, where it closes the
+//! loop-variable cycle.
+
+use std::hash::{Hash, Hasher};
+
+use crate::delta::{consolidate, Data, Delta};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode, Queue};
+use crate::time::Time;
+use crate::util::FxHasher;
+
+pub(crate) struct DelayNode<D: Data> {
+    input: Queue<D>,
+    output: Fanout<D>,
+    /// Re-timestamped records whose time is still in the future.
+    deferred: Vec<Delta<D>>,
+    /// Digest of the batch emitted by the most recent step (see
+    /// `OpNode::step_digest`).
+    last_digest: Option<u64>,
+    work: u64,
+}
+
+impl<D: Data> DelayNode<D> {
+    pub fn new(input: Queue<D>, output: Fanout<D>) -> Self {
+        DelayNode { input, output, deferred: Vec::new(), last_digest: None, work: 0 }
+    }
+}
+
+/// Order-insensitive, iteration-blind digest of a difference batch:
+/// the loop state transition it encodes. Two iterations emitting the
+/// same multiset of `(data, diff)` changes get the same digest.
+fn digest_of<D: Data>(batch: &[Delta<D>]) -> Option<u64> {
+    let mut normalized: Vec<Delta<D>> =
+        batch.iter().map(|(d, _t, r)| (d.clone(), crate::time::Time::default(), *r)).collect();
+    consolidate(&mut normalized);
+    if normalized.is_empty() {
+        return None;
+    }
+    let mut acc: u64 = 0;
+    for (d, _, r) in &normalized {
+        let mut h = FxHasher::default();
+        d.hash(&mut h);
+        r.hash(&mut h);
+        acc = acc.wrapping_add(h.finish() | 1);
+    }
+    Some(acc)
+}
+
+impl<D: Data> OpNode for DelayNode<D> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let batch = std::mem::take(&mut *self.input.borrow_mut());
+        self.work += batch.len() as u64;
+        for (d, t, r) in batch {
+            debug_assert_eq!(t.epoch, now.epoch, "delay: cross-epoch feedback");
+            self.deferred.push((d, t.delayed(), r));
+        }
+        self.last_digest = None;
+        if self.deferred.iter().any(|(_, t, _)| t.leq(now)) {
+            let (ready, later): (Vec<_>, Vec<_>) =
+                std::mem::take(&mut self.deferred).into_iter().partition(|(_, t, _)| t.leq(now));
+            self.deferred = later;
+            self.last_digest = digest_of(&ready);
+            self.output.emit(&ready);
+        }
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.input.borrow().is_empty()
+    }
+
+    fn pending_iter(&self, epoch: u64) -> Option<u32> {
+        self.deferred.iter().filter(|(_, t, _)| t.epoch == epoch).map(|(_, t, _)| t.iter).min()
+    }
+
+    fn end_epoch(&mut self, _epoch: u64) {
+        debug_assert!(self.deferred.is_empty(), "delay: deferred records at epoch end");
+        debug_assert!(!self.has_queued(), "delay: input left queued at epoch end");
+    }
+
+    fn compact(&mut self, _frontier: u64) {}
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn step_digest(&self) -> Option<u64> {
+        self.last_digest
+    }
+
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+}

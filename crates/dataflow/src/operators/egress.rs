@@ -1,0 +1,66 @@
+//! Loop egress: erases the iteration component of timestamps, handing a
+//! fixpoint's differences back to the enclosing scope.
+//!
+//! Differences are buffered for the duration of the loop and released
+//! consolidated when the scope signals completion — intermediate
+//! iterations routinely produce differences that cancel (a value
+//! improved twice), and downstream operators should not see that churn.
+
+use crate::delta::{consolidate, Data, Delta};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode, Queue};
+use crate::time::Time;
+
+pub(crate) struct EgressNode<D: Data> {
+    input: Queue<D>,
+    output: Fanout<D>,
+    buffer: Vec<Delta<D>>,
+    work: u64,
+}
+
+impl<D: Data> EgressNode<D> {
+    pub fn new(input: Queue<D>, output: Fanout<D>) -> Self {
+        EgressNode { input, output, buffer: Vec::new(), work: 0 }
+    }
+}
+
+impl<D: Data> OpNode for EgressNode<D> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let batch = std::mem::take(&mut *self.input.borrow_mut());
+        self.work += batch.len() as u64;
+        for (d, t, r) in batch {
+            debug_assert!(t.leq(now), "egress: late record");
+            self.buffer.push((d, t.outer(), r));
+        }
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.input.borrow().is_empty()
+    }
+
+    fn pending_iter(&self, _epoch: u64) -> Option<u32> {
+        // Buffered output is not pending loop work: it leaves the loop.
+        None
+    }
+
+    fn flush_scope(&mut self, _epoch: u64) {
+        consolidate(&mut self.buffer);
+        self.output.emit(&self.buffer);
+        self.buffer.clear();
+    }
+
+    fn end_epoch(&mut self, _epoch: u64) {
+        debug_assert!(self.buffer.is_empty(), "egress: buffer not flushed at epoch end");
+    }
+
+    fn compact(&mut self, _frontier: u64) {}
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn name(&self) -> &'static str {
+        "egress"
+    }
+}

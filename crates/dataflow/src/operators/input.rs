@@ -1,0 +1,96 @@
+//! Dataflow inputs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::delta::{consolidate, Data, Diff};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode};
+use crate::time::Time;
+
+type Buffer<D> = Rc<RefCell<Vec<(D, Diff)>>>;
+
+/// Client-side handle to an input collection.
+///
+/// Changes pushed through the handle are buffered; they all take effect
+/// atomically at the next [`crate::Dataflow::advance`].
+pub struct InputHandle<D: Data> {
+    buffer: Buffer<D>,
+}
+
+impl<D: Data> InputHandle<D> {
+    /// Add one instance of `d` to the collection.
+    pub fn insert(&self, d: D) {
+        self.update(d, 1);
+    }
+
+    /// Remove one instance of `d` from the collection.
+    pub fn remove(&self, d: D) {
+        self.update(d, -1);
+    }
+
+    /// Change the multiplicity of `d` by `diff`.
+    pub fn update(&self, d: D, diff: Diff) {
+        if diff != 0 {
+            self.buffer.borrow_mut().push((d, diff));
+        }
+    }
+
+    /// Insert many records at once.
+    pub fn extend<I: IntoIterator<Item = D>>(&self, items: I) {
+        let mut buf = self.buffer.borrow_mut();
+        buf.extend(items.into_iter().map(|d| (d, 1)));
+    }
+
+    /// Number of buffered (not yet applied) changes.
+    pub fn buffered(&self) -> usize {
+        self.buffer.borrow().len()
+    }
+}
+
+pub(crate) struct InputNode<D: Data> {
+    buffer: Buffer<D>,
+    output: Fanout<D>,
+    work: u64,
+}
+
+impl<D: Data> InputNode<D> {
+    pub fn new(output: Fanout<D>) -> (InputHandle<D>, Self) {
+        let buffer: Buffer<D> = Rc::new(RefCell::new(Vec::new()));
+        (InputHandle { buffer: Rc::clone(&buffer) }, InputNode { buffer, output, work: 0 })
+    }
+}
+
+impl<D: Data> OpNode for InputNode<D> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let batch = std::mem::take(&mut *self.buffer.borrow_mut());
+        if batch.is_empty() {
+            return Ok(());
+        }
+        self.work += batch.len() as u64;
+        let mut staged: Vec<_> = batch.into_iter().map(|(d, r)| (d, now, r)).collect();
+        consolidate(&mut staged);
+        self.output.emit(&staged);
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        false
+    }
+
+    fn pending_iter(&self, _epoch: u64) -> Option<u32> {
+        None
+    }
+
+    fn end_epoch(&mut self, _epoch: u64) {}
+
+    fn compact(&mut self, _frontier: u64) {}
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn name(&self) -> &'static str {
+        "input"
+    }
+}

@@ -1,0 +1,116 @@
+//! The differential binary equi-join.
+//!
+//! `join` maintains a full keyed trace of both inputs. A new difference
+//! on either side is matched against the *entire history* of the other
+//! side; each match `(dA at t1) × (B at t2)` contributes output at
+//! `t1 ∨ t2`. The join of an in-loop time with a historical time can lie
+//! at a *future* iteration of the current epoch — those contributions
+//! are deferred and surfaced through `pending_iter`, which forces the
+//! enclosing loop to revisit exactly the affected iterations.
+
+use crate::delta::{consolidate, Data, Delta};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode, Queue};
+use crate::time::Time;
+use crate::trace::KeyTrace;
+
+pub(crate) struct JoinNode<K: Data, V: Data, W: Data> {
+    in_a: Queue<(K, V)>,
+    in_b: Queue<(K, W)>,
+    trace_a: KeyTrace<K, V>,
+    trace_b: KeyTrace<K, W>,
+    deferred: Vec<Delta<(K, (V, W))>>,
+    output: Fanout<(K, (V, W))>,
+    work: u64,
+}
+
+impl<K: Data, V: Data, W: Data> JoinNode<K, V, W> {
+    pub fn new(in_a: Queue<(K, V)>, in_b: Queue<(K, W)>, output: Fanout<(K, (V, W))>) -> Self {
+        JoinNode {
+            in_a,
+            in_b,
+            trace_a: KeyTrace::new(),
+            trace_b: KeyTrace::new(),
+            deferred: Vec::new(),
+            output,
+            work: 0,
+        }
+    }
+}
+
+impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let mut batch_a = std::mem::take(&mut *self.in_a.borrow_mut());
+        let mut batch_b = std::mem::take(&mut *self.in_b.borrow_mut());
+        if batch_a.is_empty() && batch_b.is_empty() && self.deferred.is_empty() {
+            return Ok(());
+        }
+        consolidate(&mut batch_a);
+        consolidate(&mut batch_b);
+        self.work += (batch_a.len() + batch_b.len()) as u64;
+
+        let mut staging: Vec<Delta<(K, (V, W))>> = Vec::new();
+        // New A-differences against B's existing history. B's history
+        // does not yet contain this step's B-batch, so each (dA, dB)
+        // pair of this step is produced exactly once (below).
+        for ((k, v), t1, r1) in &batch_a {
+            for (w, t2, r2) in self.trace_b.history(k) {
+                self.work += 1;
+                staging.push(((k.clone(), (v.clone(), w.clone())), t1.join(*t2), r1 * r2));
+            }
+        }
+        for ((k, v), t, r) in batch_a {
+            self.trace_a.push(k, v, t, r);
+        }
+        // New B-differences against A's history *including* this step's
+        // A-batch.
+        for ((k, w), t2, r2) in &batch_b {
+            for (v, t1, r1) in self.trace_a.history(k) {
+                self.work += 1;
+                staging.push(((k.clone(), (v.clone(), w.clone())), t1.join(*t2), r1 * r2));
+            }
+        }
+        for ((k, w), t, r) in batch_b {
+            self.trace_b.push(k, w, t, r);
+        }
+
+        // Release everything due at or before `now`; defer the rest.
+        staging.append(&mut self.deferred);
+        let (ready, later): (Vec<_>, Vec<_>) =
+            staging.into_iter().partition(|(_, t, _)| t.leq(now));
+        self.deferred = later;
+        let mut ready = ready;
+        consolidate(&mut ready);
+        self.output.emit(&ready);
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.in_a.borrow().is_empty() || !self.in_b.borrow().is_empty()
+    }
+
+    fn pending_iter(&self, epoch: u64) -> Option<u32> {
+        self.deferred.iter().filter(|(_, t, _)| t.epoch == epoch).map(|(_, t, _)| t.iter).min()
+    }
+
+    fn end_epoch(&mut self, epoch: u64) {
+        debug_assert!(
+            self.deferred.iter().all(|(_, t, _)| t.epoch > epoch),
+            "join: deferred output for a completed epoch"
+        );
+        debug_assert!(!self.has_queued(), "join: input left queued at epoch end");
+    }
+
+    fn compact(&mut self, frontier: u64) {
+        self.trace_a.compact(frontier);
+        self.trace_b.compact(frontier);
+    }
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn name(&self) -> &'static str {
+        "join"
+    }
+}

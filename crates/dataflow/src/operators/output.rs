@@ -1,0 +1,75 @@
+//! Dataflow outputs: client-side views of a collection's changes and
+//! accumulated state.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::delta::{consolidate_values, Data, Delta, Diff};
+use crate::util::FxHashMap;
+
+/// Client-side handle observing a collection.
+///
+/// After each [`crate::Dataflow::advance`], [`OutputHandle::drain`]
+/// returns the net changes of the epoch, and the handle folds them into
+/// an accumulated multiset view available via [`OutputHandle::state`].
+pub struct OutputHandle<D: Data> {
+    queue: Rc<RefCell<Vec<Delta<D>>>>,
+    state: FxHashMap<D, Diff>,
+}
+
+impl<D: Data> OutputHandle<D> {
+    pub(crate) fn new(queue: Rc<RefCell<Vec<Delta<D>>>>) -> Self {
+        OutputHandle { queue, state: FxHashMap::default() }
+    }
+
+    /// Net changes since the last `drain`, consolidated (time-erased)
+    /// and sorted. Also folds the changes into the accumulated view.
+    pub fn drain(&mut self) -> Vec<(D, Diff)> {
+        let batch = std::mem::take(&mut *self.queue.borrow_mut());
+        let mut values: Vec<(D, Diff)> = batch.into_iter().map(|(d, _, r)| (d, r)).collect();
+        consolidate_values(&mut values);
+        for (d, r) in &values {
+            let slot = self.state.entry(d.clone()).or_insert(0);
+            *slot += *r;
+            if *slot == 0 {
+                self.state.remove(d);
+            }
+        }
+        values
+    }
+
+    /// The accumulated multiset, sorted. Call [`OutputHandle::drain`]
+    /// after each epoch to keep this current.
+    pub fn state(&self) -> Vec<(D, Diff)> {
+        let mut v: Vec<(D, Diff)> = self.state.iter().map(|(d, r)| (d.clone(), *r)).collect();
+        v.sort();
+        v
+    }
+
+    /// The accumulated *set* view: records with positive multiplicity.
+    pub fn state_set(&self) -> Vec<D> {
+        let mut v: Vec<D> =
+            self.state.iter().filter(|(_, r)| **r > 0).map(|(d, _)| d.clone()).collect();
+        v.sort();
+        v
+    }
+
+    /// Multiplicity of `d` in the accumulated view.
+    pub fn count(&self, d: &D) -> Diff {
+        self.state.get(d).copied().unwrap_or(0)
+    }
+
+    /// Whether `d` is present (positive multiplicity).
+    pub fn contains(&self, d: &D) -> bool {
+        self.count(d) > 0
+    }
+
+    /// Number of distinct records with nonzero multiplicity.
+    pub fn len(&self) -> usize {
+        self.state.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.state.is_empty()
+    }
+}

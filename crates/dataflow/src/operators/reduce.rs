@@ -1,0 +1,160 @@
+//! The differential grouping operator.
+//!
+//! `reduce` applies a function to the accumulated multiset of values for
+//! each key and maintains the function's output incrementally: whenever
+//! a key's input changes at time `t`, the operator recomputes the
+//! correct output *as of* `t` and emits the difference against what its
+//! output history already accumulates to at `t`.
+//!
+//! With partially ordered times the subtlety is that a change at `t1`
+//! can also invalidate the output at `t1 ∨ t2` for every other time `t2`
+//! in the key's history (the classic differential-dataflow "interesting
+//! times" rule). In the two-dimensional `(epoch, iteration)` lattice the
+//! join-closure of a set of times equals its set of pairwise joins, so
+//! it suffices to enqueue `t ∨ u` for every recorded `u` whenever a new
+//! input time `t` arrives. Pending times are processed in lexicographic
+//! order (a linear extension of the partial order) once the scheduler
+//! reaches them.
+
+use std::collections::BTreeSet;
+
+use crate::delta::{consolidate, consolidate_values, value_delta, Data, Delta, Diff};
+use crate::error::EvalError;
+use crate::graph::{Fanout, OpNode, Queue};
+use crate::time::Time;
+use crate::trace::KeyTrace;
+
+/// The user reduction: receives the key and its consolidated, sorted,
+/// positive-multiplicity input values, returns output values with
+/// multiplicities.
+pub(crate) type ReduceLogic<K, V, W> = Box<dyn FnMut(&K, &[(V, Diff)]) -> Vec<(W, Diff)>>;
+
+pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
+    name: &'static str,
+    input: Queue<(K, V)>,
+    in_trace: KeyTrace<K, V>,
+    out_trace: KeyTrace<K, W>,
+    /// Times (per key) at which the output may need correction, not yet
+    /// processed. Lexicographic order on `Time` linearizes the partial
+    /// order, so iterating the set front-to-back is causally safe.
+    pending: BTreeSet<(Time, K)>,
+    logic: ReduceLogic<K, V, W>,
+    output: Fanout<(K, W)>,
+    work: u64,
+}
+
+impl<K: Data, V: Data, W: Data> ReduceNode<K, V, W> {
+    pub fn new(
+        name: &'static str,
+        input: Queue<(K, V)>,
+        output: Fanout<(K, W)>,
+        logic: ReduceLogic<K, V, W>,
+    ) -> Self {
+        ReduceNode {
+            name,
+            input,
+            in_trace: KeyTrace::new(),
+            out_trace: KeyTrace::new(),
+            pending: BTreeSet::new(),
+            logic,
+            output,
+            work: 0,
+        }
+    }
+}
+
+impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let mut batch = std::mem::take(&mut *self.input.borrow_mut());
+        if batch.is_empty() && self.pending.is_empty() {
+            return Ok(());
+        }
+        consolidate(&mut batch);
+        self.work += batch.len() as u64;
+
+        // Record the new differences and enqueue interesting times:
+        // every new time, plus its join with every time already in the
+        // key's history.
+        let mut new_times: Vec<(K, Time)> = Vec::new();
+        for ((k, _), t, _) in &batch {
+            debug_assert!(t.leq(now), "{}: record at {t:?} arrived after {now:?}", self.name);
+            if new_times.last().map(|(lk, lt)| lk != k || lt != t).unwrap_or(true) {
+                new_times.push((k.clone(), *t));
+            }
+        }
+        for ((k, v), t, r) in batch {
+            self.in_trace.push(k, v, t, r);
+        }
+        new_times.sort();
+        new_times.dedup();
+        for (k, t) in new_times {
+            for u in self.in_trace.times(&k) {
+                let j = t.join(u);
+                self.pending.insert((j, k.clone()));
+            }
+            self.pending.insert((t, k));
+        }
+
+        // Process every pending time that is now complete. Pending times
+        // always lie in the current epoch (joins cannot exceed the max
+        // epoch of their arguments), so the lexicographic minimum is
+        // processable iff its iteration component has been reached.
+        let mut staging: Vec<Delta<(K, W)>> = Vec::new();
+        while let Some((t, k)) = self.pending.iter().next().cloned() {
+            if !t.leq(now) {
+                break;
+            }
+            self.pending.remove(&(t, k.clone()));
+            self.work += 1;
+            let in_acc = self.in_trace.accumulate(&k, t);
+            debug_assert!(
+                in_acc.iter().all(|(_, r)| *r > 0),
+                "{}: negative input multiplicity for {k:?} at {t:?}: {in_acc:?}",
+                self.name
+            );
+            let mut correct =
+                if in_acc.is_empty() { Vec::new() } else { (self.logic)(&k, &in_acc) };
+            consolidate_values(&mut correct);
+            let out_acc = self.out_trace.accumulate(&k, t);
+            let delta = value_delta(&correct, &out_acc);
+            for (w, r) in delta {
+                self.out_trace.push(k.clone(), w.clone(), t, r);
+                staging.push(((k.clone(), w), t, r));
+            }
+        }
+        self.output.emit(&staging);
+        Ok(())
+    }
+
+    fn has_queued(&self) -> bool {
+        !self.input.borrow().is_empty()
+    }
+
+    fn pending_iter(&self, epoch: u64) -> Option<u32> {
+        self.pending.iter().filter(|(t, _)| t.epoch == epoch).map(|(t, _)| t.iter).min()
+    }
+
+    fn end_epoch(&mut self, epoch: u64) {
+        debug_assert!(
+            self.pending.iter().all(|(t, _)| t.epoch > epoch),
+            "{}: unprocessed interesting times at epoch {epoch} end: {:?}",
+            self.name,
+            self.pending.iter().take(4).collect::<Vec<_>>()
+        );
+        debug_assert!(!self.has_queued(), "{}: input left queued at epoch end", self.name);
+    }
+
+    fn compact(&mut self, frontier: u64) {
+        debug_assert!(self.pending.is_empty(), "{}: compacting with pending times", self.name);
+        self.in_trace.compact(frontier);
+        self.out_trace.compact(frontier);
+    }
+
+    fn work(&self) -> u64 {
+        self.work
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}

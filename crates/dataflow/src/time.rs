@@ -1,0 +1,110 @@
+//! Two-dimensional logical timestamps.
+//!
+//! A timestamp pairs a top-level **epoch** (one per input round) with an
+//! **iteration** counter used inside `iterate` scopes. Timestamps are
+//! ordered by the *product partial order* — `(e1, i1) ≤ (e2, i2)` iff
+//! `e1 ≤ e2` and `i1 ≤ i2` — which is what lets the engine distinguish
+//! "a change made in a later epoch" from "a change made in a later
+//! iteration of the same fixpoint": a correction introduced at epoch 3,
+//! iteration 1 must not be visible when accumulating state for epoch 4,
+//! iteration 0.
+//!
+//! The derived `Ord` is the lexicographic order, a linear extension of
+//! the partial order, used to process pending work in a valid sequence.
+
+/// A product-lattice timestamp `(epoch, iter)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time {
+    /// Top-level input round. Advanced by `Dataflow::advance`.
+    pub epoch: u64,
+    /// Iteration inside an `iterate` scope; always 0 outside scopes.
+    pub iter: u32,
+}
+
+impl Time {
+    /// Construct a timestamp.
+    #[inline]
+    pub fn new(epoch: u64, iter: u32) -> Self {
+        Time { epoch, iter }
+    }
+
+    /// The product partial order: `self` happened no later than `other`
+    /// in *both* dimensions.
+    #[inline]
+    pub fn leq(self, other: Time) -> bool {
+        self.epoch <= other.epoch && self.iter <= other.iter
+    }
+
+    /// The least upper bound (componentwise max).
+    #[inline]
+    pub fn join(self, other: Time) -> Time {
+        Time { epoch: self.epoch.max(other.epoch), iter: self.iter.max(other.iter) }
+    }
+
+    /// The greatest lower bound (componentwise min).
+    #[inline]
+    pub fn meet(self, other: Time) -> Time {
+        Time { epoch: self.epoch.min(other.epoch), iter: self.iter.min(other.iter) }
+    }
+
+    /// Timestamp for the next iteration of the same epoch (feedback).
+    #[inline]
+    pub fn delayed(self) -> Time {
+        Time { epoch: self.epoch, iter: self.iter + 1 }
+    }
+
+    /// Timestamp with the iteration component erased (loop egress).
+    #[inline]
+    pub fn outer(self) -> Time {
+        Time { epoch: self.epoch, iter: 0 }
+    }
+}
+
+impl std::fmt::Debug for Time {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.epoch, self.iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_order_is_product() {
+        let a = Time::new(1, 5);
+        let b = Time::new(2, 3);
+        // Incomparable under the partial order...
+        assert!(!a.leq(b));
+        assert!(!b.leq(a));
+        // ...but the lexicographic Ord linearizes them.
+        assert!(a < b);
+        assert!(a.leq(a));
+        assert!(Time::new(1, 3).leq(b));
+    }
+
+    #[test]
+    fn join_meet_lattice_laws() {
+        let a = Time::new(1, 5);
+        let b = Time::new(2, 3);
+        let j = a.join(b);
+        assert_eq!(j, Time::new(2, 5));
+        assert!(a.leq(j) && b.leq(j));
+        let m = a.meet(b);
+        assert_eq!(m, Time::new(1, 3));
+        assert!(m.leq(a) && m.leq(b));
+        // Idempotence and commutativity.
+        assert_eq!(a.join(a), a);
+        assert_eq!(a.join(b), b.join(a));
+        // Absorption.
+        assert_eq!(a.join(a.meet(b)), a);
+    }
+
+    #[test]
+    fn delayed_and_outer() {
+        let t = Time::new(4, 7);
+        assert_eq!(t.delayed(), Time::new(4, 8));
+        assert_eq!(t.outer(), Time::new(4, 0));
+        assert!(t.leq(t.delayed()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Keyed difference traces — the persistent state behind `join` and
+//! `reduce`.
+//!
+//! A trace stores, per key, the full timestamped difference history of a
+//! collection. Operators accumulate a key's state *as of* a timestamp by
+//! summing all differences at times `≤ t` in the product partial order;
+//! this is what makes corrections at time joins possible.
+
+use std::collections::HashMap;
+
+use crate::delta::{consolidate_values, Data, Diff};
+use crate::time::Time;
+use crate::util::FxHashMap;
+
+/// Per-key timestamped difference history.
+pub struct KeyTrace<K: Data, V: Data> {
+    entries: FxHashMap<K, Vec<(V, Time, Diff)>>,
+    /// Total records stored (approximate, pre-consolidation).
+    len: usize,
+}
+
+impl<K: Data, V: Data> Default for KeyTrace<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Data, V: Data> KeyTrace<K, V> {
+    pub fn new() -> Self {
+        KeyTrace { entries: HashMap::default(), len: 0 }
+    }
+
+    /// Append one difference.
+    pub fn push(&mut self, k: K, v: V, t: Time, r: Diff) {
+        if r == 0 {
+            return;
+        }
+        self.entries.entry(k).or_default().push((v, t, r));
+        self.len += 1;
+    }
+
+    /// All differences recorded for `k`.
+    pub fn history(&self, k: &K) -> &[(V, Time, Diff)] {
+        self.entries.get(k).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Accumulate `k`'s state as of `t` (product order), consolidated and
+    /// sorted by value.
+    pub fn accumulate(&self, k: &K, t: Time) -> Vec<(V, Diff)> {
+        let mut acc: Vec<(V, Diff)> = self
+            .history(k)
+            .iter()
+            .filter(|(_, u, _)| u.leq(t))
+            .map(|(v, _, r)| (v.clone(), *r))
+            .collect();
+        consolidate_values(&mut acc);
+        acc
+    }
+
+    /// The distinct timestamps at which `k` has recorded differences.
+    pub fn times(&self, k: &K) -> Vec<Time> {
+        let mut ts: Vec<Time> =
+            self.history(k).iter().map(|&(_, t, _)| t).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Number of stored difference records.
+    #[allow(dead_code)] // part of the trace API; exercised by tests
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over keys (arbitrary order).
+    #[allow(dead_code)]
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Compact the trace below an epoch frontier: every record with
+    /// `epoch ≤ frontier` is retimed to epoch 0 (keeping its iteration)
+    /// and merged. Sound because any future accumulation time has epoch
+    /// `> frontier`, so only the iteration component of old records can
+    /// affect comparisons.
+    pub fn compact(&mut self, frontier: u64) {
+        self.len = 0;
+        self.entries.retain(|_, hist| {
+            for rec in hist.iter_mut() {
+                if rec.1.epoch <= frontier {
+                    rec.1 = Time::new(0, rec.1.iter);
+                }
+            }
+            // Consolidate equal (value, time) runs.
+            hist.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+            let mut write = 0;
+            let mut read = 0;
+            while read < hist.len() {
+                let mut end = read + 1;
+                let mut sum = hist[read].2;
+                while end < hist.len() && hist[end].0 == hist[read].0 && hist[end].1 == hist[read].1
+                {
+                    sum += hist[end].2;
+                    end += 1;
+                }
+                if sum != 0 {
+                    hist.swap(write, read);
+                    hist[write].2 = sum;
+                    write += 1;
+                }
+                read = end;
+            }
+            hist.truncate(write);
+            !hist.is_empty()
+        });
+        for hist in self.entries.values() {
+            self.len += hist.len();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_respects_partial_order() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(1, 0), 1);
+        tr.push("k", 2, Time::new(1, 3), 1);
+        tr.push("k", 3, Time::new(2, 1), 1);
+        // As of (2, 0): only the (1,0) record is ≤.
+        assert_eq!(tr.accumulate(&"k", Time::new(2, 0)), vec![(1, 1)]);
+        // As of (2, 3): everything.
+        assert_eq!(tr.accumulate(&"k", Time::new(2, 3)), vec![(1, 1), (2, 1), (3, 1)]);
+        // As of (1, 3): first two.
+        assert_eq!(tr.accumulate(&"k", Time::new(1, 3)), vec![(1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn accumulate_consolidates() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 7, Time::new(1, 0), 1);
+        tr.push("k", 7, Time::new(2, 0), -1);
+        assert_eq!(tr.accumulate(&"k", Time::new(2, 0)), vec![]);
+        assert_eq!(tr.accumulate(&"k", Time::new(1, 0)), vec![(7, 1)]);
+    }
+
+    #[test]
+    fn times_dedup_sorted() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(2, 0), 1);
+        tr.push("k", 2, Time::new(1, 0), 1);
+        tr.push("k", 3, Time::new(2, 0), 1);
+        assert_eq!(tr.times(&"k"), vec![Time::new(1, 0), Time::new(2, 0)]);
+    }
+
+    #[test]
+    fn compact_preserves_future_accumulations() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(1, 0), 1);
+        tr.push("k", 1, Time::new(2, 0), -1);
+        tr.push("k", 2, Time::new(3, 2), 1);
+        let before = tr.accumulate(&"k", Time::new(9, 5));
+        let before_low_iter = tr.accumulate(&"k", Time::new(9, 0));
+        tr.compact(3);
+        assert_eq!(tr.accumulate(&"k", Time::new(9, 5)), before);
+        assert_eq!(tr.accumulate(&"k", Time::new(9, 0)), before_low_iter);
+        // The cancelling pair was merged away.
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn compact_drops_empty_keys() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(1, 0), 1);
+        tr.push("k", 1, Time::new(2, 0), -1);
+        tr.compact(2);
+        assert!(tr.is_empty());
+        assert_eq!(tr.keys().count(), 0);
+    }
+}

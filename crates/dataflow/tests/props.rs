@@ -1,0 +1,140 @@
+//! Incrementality soundness: for random sequences of edge insertions
+//! and deletions, incrementally-maintained reachability and shortest
+//! paths must equal a from-scratch recomputation after every epoch.
+
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use proptest::prelude::*;
+use rc_dataflow::{Collection, Dataflow};
+
+const N: u32 = 6;
+
+#[derive(Clone, Debug)]
+enum Cmd {
+    Insert(u32, u32, u64),
+    /// Remove the i-th live edge (modulo count), if any.
+    RemoveNth(usize),
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..N, 0..N, 1u64..5).prop_map(|(a, b, w)| Cmd::Insert(a, b, w)),
+            2 => any::<usize>().prop_map(Cmd::RemoveNth),
+        ],
+        1..25,
+    )
+}
+
+/// Oracle: transitive closure by naive iteration.
+fn oracle_reach(edges: &BTreeSet<(u32, u32, u64)>) -> BTreeSet<(u32, u32)> {
+    let mut reach: BTreeSet<(u32, u32)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
+    loop {
+        let mut added = false;
+        let snapshot: Vec<_> = reach.iter().cloned().collect();
+        for &(a, b) in &snapshot {
+            for &(c, d, _) in edges.iter() {
+                if b == c && reach.insert((a, d)) {
+                    added = true;
+                }
+            }
+        }
+        if !added {
+            break;
+        }
+    }
+    reach
+}
+
+/// Oracle: Dijkstra from node 0.
+fn oracle_sssp(edges: &BTreeSet<(u32, u32, u64)>) -> BTreeMap<u32, u64> {
+    let mut dist: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut heap = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0u64, 0u32)));
+    while let Some(std::cmp::Reverse((d, n))) = heap.pop() {
+        if dist.contains_key(&n) {
+            continue;
+        }
+        dist.insert(n, d);
+        for &(a, b, w) in edges.iter() {
+            if a == n && !dist.contains_key(&b) {
+                heap.push(std::cmp::Reverse((d + w, b)));
+            }
+        }
+    }
+    dist
+}
+
+fn reachability(edges: &Collection<(u32, u32, u64)>) -> Collection<(u32, u32)> {
+    let pairs = edges.map(|(a, b, _)| (a, b)).distinct();
+    pairs.iterate(|inner| {
+        let step = inner.map(|(x, y)| (y, x)).join(&pairs.clone()).map(|(_, (x, z))| (x, z));
+        inner.concat(&step).distinct()
+    })
+}
+
+fn sssp(
+    edges: &Collection<(u32, u32, u64)>,
+    seed: &Collection<(u32, u64)>,
+) -> Collection<(u32, u64)> {
+    seed.iterate(|inner| {
+        let relaxed = inner
+            .join(&edges.map(|(s, d, w)| (s, (d, w))))
+            .map(|(_, (cost, (d, w)))| (d, cost + w));
+        inner.concat(&relaxed).reduce_min()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn incremental_equals_from_scratch(cmds in arb_cmds()) {
+        let mut df = Dataflow::new();
+        let (edges_in, edges) = df.input::<(u32, u32, u64)>();
+        let (seed_in, seed) = df.input::<(u32, u64)>();
+        seed_in.insert((0, 0));
+        let mut reach_out = reachability(&edges).output();
+        let mut dist_out = sssp(&edges, &seed).output();
+
+        let mut live: BTreeSet<(u32, u32, u64)> = BTreeSet::new();
+        df.advance().unwrap();
+        reach_out.drain();
+        dist_out.drain();
+
+        for (step, cmd) in cmds.into_iter().enumerate() {
+            match cmd {
+                Cmd::Insert(a, b, w) => {
+                    if live.insert((a, b, w)) {
+                        edges_in.insert((a, b, w));
+                    }
+                }
+                Cmd::RemoveNth(i) => {
+                    if !live.is_empty() {
+                        let e = *live.iter().nth(i % live.len()).unwrap();
+                        live.remove(&e);
+                        edges_in.remove(e);
+                    }
+                }
+            }
+            df.advance().unwrap();
+            reach_out.drain();
+            dist_out.drain();
+
+            // Multiplicities must all be exactly one.
+            for (d, r) in reach_out.state() {
+                prop_assert_eq!(r, 1, "reach multiplicity for {:?}", d);
+            }
+            let got_reach: BTreeSet<(u32, u32)> = reach_out.state_set().into_iter().collect();
+            prop_assert_eq!(&got_reach, &oracle_reach(&live), "reach mismatch at step {}", step);
+
+            let got_dist: BTreeMap<u32, u64> = dist_out.state_set().into_iter().collect();
+            prop_assert_eq!(&got_dist, &oracle_sssp(&live), "sssp mismatch at step {}", step);
+
+            // Periodic compaction must not disturb anything.
+            if step % 7 == 3 {
+                df.compact();
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Configuration generators: topology + protocol choice → concrete
+//! per-device configurations, mirroring the paper's evaluation setup.
+//!
+//! * **OSPF**: one process per device, all link and host subnets in
+//!   area 0, every link interface with an explicit `ip ospf cost 1`
+//!   (so the LC change is a one-line modification).
+//! * **BGP**: one private AS per device, an eBGP session on every link,
+//!   every session with a per-interface import route-map setting
+//!   `local-preference 100` (so the LP change is a one-line
+//!   modification), host prefixes originated via `network` statements.
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::topology::Topology;
+use crate::types::{Ip, Prefix};
+
+/// Which routing protocol the generated network runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolChoice {
+    Ospf,
+    Rip,
+    Bgp,
+}
+
+/// The subnet assigned to the `i`-th physical link: /30s carved out of
+/// `10.0.0.0/8`.
+pub fn link_subnet(i: u32) -> Prefix {
+    assert!(i < (1 << 22), "link index {i} exhausts the 10/8 space");
+    Prefix::new(Ip(0x0A00_0000 | (i << 2)), 30)
+}
+
+/// The private AS number of device index `i`.
+pub fn device_asn(i: u32) -> u32 {
+    64512 + i
+}
+
+/// Name of the import route-map generated for a given interface.
+pub fn import_map_name(iface: &str) -> String {
+    format!("RM-IN-{iface}")
+}
+
+/// Generate configurations for every device of `topo`.
+pub fn build_configs(topo: &Topology, proto: ProtocolChoice) -> BTreeMap<String, DeviceConfig> {
+    let mut configs: BTreeMap<String, DeviceConfig> = topo
+        .devices
+        .iter()
+        .map(|d| (d.clone(), DeviceConfig::new(d.clone())))
+        .collect();
+    let index: BTreeMap<&str, u32> =
+        topo.devices.iter().enumerate().map(|(i, d)| (d.as_str(), i as u32)).collect();
+
+    // Link interfaces: the a-side gets host .1, the b-side host .2.
+    let mut neighbor_addr: Vec<(String, Ip, String, Ip)> = Vec::new();
+    for (li, link) in topo.links.iter().enumerate() {
+        let subnet = link_subnet(li as u32);
+        let (ip_a, ip_b) = (subnet.host(1), subnet.host(2));
+        configs.get_mut(&link.a.device).expect("device exists").interfaces.push(
+            InterfaceConfig {
+                name: link.a.iface.clone(),
+                address: Some((ip_a, 30)),
+                ..Default::default()
+            },
+        );
+        configs.get_mut(&link.b.device).expect("device exists").interfaces.push(
+            InterfaceConfig {
+                name: link.b.iface.clone(),
+                address: Some((ip_b, 30)),
+                ..Default::default()
+            },
+        );
+        neighbor_addr.push((link.a.device.clone(), ip_b, link.a.iface.clone(), ip_a));
+        neighbor_addr.push((link.b.device.clone(), ip_a, link.b.iface.clone(), ip_b));
+    }
+
+    // Host interfaces announcing the device's prefixes.
+    for (dev, prefixes) in &topo.host_prefixes {
+        let cfg = configs.get_mut(dev).expect("device exists");
+        for (i, p) in prefixes.iter().enumerate() {
+            cfg.interfaces.push(InterfaceConfig {
+                name: format!("host{i}"),
+                address: Some((p.host(1), p.len())),
+                ..Default::default()
+            });
+        }
+    }
+
+    match proto {
+        ProtocolChoice::Rip => {
+            for cfg in configs.values_mut() {
+                cfg.rip = Some(RipConfig {
+                    networks: vec![
+                        "10.0.0.0/8".parse().expect("valid"),
+                        "172.16.0.0/12".parse().expect("valid"),
+                    ],
+                    redistribute: vec![],
+                });
+            }
+        }
+        ProtocolChoice::Ospf => {
+            for cfg in configs.values_mut() {
+                for iface in &mut cfg.interfaces {
+                    if iface.name.starts_with("eth") {
+                        iface.ospf_cost = Some(1);
+                    }
+                }
+                cfg.ospf = Some(OspfConfig {
+                    process_id: 1,
+                    networks: vec![
+                        "10.0.0.0/8".parse().expect("valid"),
+                        "172.16.0.0/12".parse().expect("valid"),
+                    ],
+                    redistribute: vec![],
+                });
+            }
+        }
+        ProtocolChoice::Bgp => {
+            for (dev, cfg) in configs.iter_mut() {
+                let mut bgp = BgpConfig { asn: device_asn(index[dev.as_str()]), ..Default::default() };
+                for p in topo.host_prefixes.get(dev).into_iter().flatten() {
+                    bgp.networks.push(*p);
+                }
+                cfg.bgp = Some(bgp);
+            }
+            // Sessions: one per link endpoint, with an import route-map.
+            let mut peer_dev_of: BTreeMap<Ip, String> = BTreeMap::new();
+            for (dev, _peer_ip, _iface, my_ip) in &neighbor_addr {
+                peer_dev_of.insert(*my_ip, dev.clone());
+            }
+            for (dev, peer_ip, iface, _my_ip) in &neighbor_addr {
+                let peer_dev = peer_dev_of.get(peer_ip).expect("peer address assigned").clone();
+                let remote_as = device_asn(index[peer_dev.as_str()]);
+                let map = import_map_name(iface);
+                let cfg = configs.get_mut(dev).expect("device exists");
+                cfg.bgp.as_mut().expect("bgp configured").neighbors.push(BgpNeighbor {
+                    addr: *peer_ip,
+                    remote_as,
+                    route_map_in: Some(map.clone()),
+                    route_map_out: None,
+                });
+                cfg.route_maps.push(RouteMap {
+                    name: map,
+                    entries: vec![RouteMapEntry {
+                        seq: 10,
+                        action: RouteMapAction::Permit,
+                        match_prefix: None,
+                        set_local_pref: Some(100),
+                        set_metric: None,
+                    }],
+                });
+            }
+            for cfg in configs.values_mut() {
+                cfg.bgp.as_mut().expect("bgp configured").neighbors.sort_by_key(|n| n.addr);
+                cfg.route_maps.sort_by(|a, b| a.name.cmp(&b.name));
+            }
+        }
+    }
+
+    for cfg in configs.values_mut() {
+        cfg.interfaces.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+    configs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_config;
+    use crate::printer::print_config;
+    use crate::topology::{fat_tree, ring};
+
+    #[test]
+    fn ospf_fat_tree_configs() {
+        let topo = fat_tree(4);
+        let cfgs = build_configs(&topo, ProtocolChoice::Ospf);
+        assert_eq!(cfgs.len(), 20);
+        let edge = &cfgs["pod00-edge00"];
+        // 2 uplinks + 1 host interface.
+        assert_eq!(edge.interfaces.len(), 3);
+        assert!(edge.ospf.is_some());
+        assert!(edge.bgp.is_none());
+        assert_eq!(edge.interface("eth0").unwrap().ospf_cost, Some(1));
+        assert!(edge.interface("host0").unwrap().ospf_cost.is_none());
+    }
+
+    #[test]
+    fn bgp_fat_tree_configs() {
+        let topo = fat_tree(4);
+        let cfgs = build_configs(&topo, ProtocolChoice::Bgp);
+        let edge = &cfgs["pod00-edge00"];
+        let bgp = edge.bgp.as_ref().unwrap();
+        assert_eq!(bgp.neighbors.len(), 2);
+        assert_eq!(bgp.networks.len(), 1);
+        // Every neighbor has an import map setting LP 100.
+        for nb in &bgp.neighbors {
+            let rm = edge.route_map(nb.route_map_in.as_deref().unwrap()).unwrap();
+            assert_eq!(rm.entries[0].set_local_pref, Some(100));
+        }
+        // AS numbers unique.
+        let mut asns: Vec<u32> = cfgs.values().map(|c| c.bgp.as_ref().unwrap().asn).collect();
+        asns.sort();
+        asns.dedup();
+        assert_eq!(asns.len(), cfgs.len());
+    }
+
+    #[test]
+    fn remote_as_matches_peer() {
+        let topo = ring(4);
+        let cfgs = build_configs(&topo, ProtocolChoice::Bgp);
+        for cfg in cfgs.values() {
+            for nb in &cfg.bgp.as_ref().unwrap().neighbors {
+                // Find the device owning nb.addr; its ASN must match.
+                let owner = cfgs
+                    .values()
+                    .find(|c| c.interfaces.iter().any(|i| i.ip() == Some(nb.addr)))
+                    .expect("peer address owned by someone");
+                assert_eq!(owner.bgp.as_ref().unwrap().asn, nb.remote_as);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_configs_round_trip_through_text() {
+        let topo = ring(3);
+        for proto in [ProtocolChoice::Ospf, ProtocolChoice::Bgp] {
+            let cfgs = build_configs(&topo, proto);
+            for cfg in cfgs.values() {
+                let text = print_config(cfg);
+                let reparsed = parse_config(&text).unwrap();
+                assert_eq!(&reparsed, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn link_subnets_disjoint() {
+        for i in 0..200 {
+            for j in (i + 1)..200 {
+                assert!(!link_subnet(i).overlaps(link_subnet(j)));
+            }
+        }
+    }
+}

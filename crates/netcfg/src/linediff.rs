@@ -1,0 +1,155 @@
+//! Line-level configuration diffs.
+//!
+//! The paper frames configuration changes as "insertions or deletions
+//! of configuration lines" (a modification is a deletion plus an
+//! insertion). This module computes that view — an LCS-based diff of
+//! two configuration texts — which the verifier reports alongside the
+//! semantic fact delta, mirroring how operators and the management
+//! literature count change sizes.
+
+/// One diffed line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LineEdit {
+    /// Present only in the new text.
+    Insert(String),
+    /// Present only in the old text.
+    Delete(String),
+}
+
+/// A line diff between two texts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LineDiff {
+    pub edits: Vec<LineEdit>,
+}
+
+impl LineDiff {
+    pub fn insertions(&self) -> usize {
+        self.edits.iter().filter(|e| matches!(e, LineEdit::Insert(_))).count()
+    }
+
+    pub fn deletions(&self) -> usize {
+        self.edits.iter().filter(|e| matches!(e, LineEdit::Delete(_))).count()
+    }
+
+    /// Total changed lines (insertions + deletions).
+    pub fn len(&self) -> usize {
+        self.edits.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.edits.is_empty()
+    }
+}
+
+impl std::fmt::Display for LineDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for e in &self.edits {
+            match e {
+                LineEdit::Insert(l) => writeln!(f, "+ {l}")?,
+                LineEdit::Delete(l) => writeln!(f, "- {l}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Diff two texts line-by-line using a longest-common-subsequence
+/// alignment. Separator (`!`) and blank lines are ignored — they carry
+/// no configuration meaning.
+pub fn diff_lines(old: &str, new: &str) -> LineDiff {
+    let filter = |s: &str| {
+        s.lines()
+            .map(str::trim_end)
+            .filter(|l| !l.trim().is_empty() && l.trim() != "!")
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+    };
+    let a = filter(old);
+    let b = filter(new);
+
+    // Standard DP LCS table. Configurations are small (tens to a few
+    // hundred lines), so O(n·m) is fine.
+    let (n, m) = (a.len(), b.len());
+    let mut lcs = vec![vec![0u32; m + 1]; n + 1];
+    for i in (0..n).rev() {
+        for j in (0..m).rev() {
+            lcs[i][j] = if a[i] == b[j] {
+                lcs[i + 1][j + 1] + 1
+            } else {
+                lcs[i + 1][j].max(lcs[i][j + 1])
+            };
+        }
+    }
+    let mut edits = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < n && j < m {
+        if a[i] == b[j] {
+            i += 1;
+            j += 1;
+        } else if lcs[i + 1][j] >= lcs[i][j + 1] {
+            edits.push(LineEdit::Delete(a[i].clone()));
+            i += 1;
+        } else {
+            edits.push(LineEdit::Insert(b[j].clone()));
+            j += 1;
+        }
+    }
+    edits.extend(a[i..].iter().map(|l| LineEdit::Delete(l.clone())));
+    edits.extend(b[j..].iter().map(|l| LineEdit::Insert(l.clone())));
+    LineDiff { edits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_texts_empty_diff() {
+        let t = "a\nb\nc\n";
+        assert!(diff_lines(t, t).is_empty());
+    }
+
+    #[test]
+    fn separator_lines_ignored() {
+        assert!(diff_lines("a\n!\nb\n", "a\nb\n!\n!\n").is_empty());
+    }
+
+    #[test]
+    fn single_modification_is_delete_plus_insert() {
+        let old = "interface eth0\n ip ospf cost 1\n";
+        let new = "interface eth0\n ip ospf cost 100\n";
+        let d = diff_lines(old, new);
+        assert_eq!(d.insertions(), 1);
+        assert_eq!(d.deletions(), 1);
+        assert_eq!(
+            d.edits,
+            vec![
+                LineEdit::Delete(" ip ospf cost 1".into()),
+                LineEdit::Insert(" ip ospf cost 100".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn pure_insertion_and_deletion() {
+        let d = diff_lines("a\nc\n", "a\nb\nc\n");
+        assert_eq!(d.edits, vec![LineEdit::Insert("b".into())]);
+        let d = diff_lines("a\nb\nc\n", "a\nc\n");
+        assert_eq!(d.edits, vec![LineEdit::Delete("b".into())]);
+    }
+
+    #[test]
+    fn display_format() {
+        let d = diff_lines("x\n", "y\n");
+        assert_eq!(d.to_string(), "- x\n+ y\n");
+    }
+
+    #[test]
+    fn lcs_finds_minimal_alignment() {
+        // The diff must not report the common suffix as changed.
+        let old = "a\nb\nc\nd\ne\n";
+        let new = "z\nb\nc\nd\ne\n";
+        let d = diff_lines(old, new);
+        assert_eq!(d.len(), 2);
+    }
+}

@@ -1,0 +1,237 @@
+//! Canonical printer: renders a [`DeviceConfig`] back to configuration
+//! text. `parse(print(cfg)) == cfg` — the round trip is exercised by
+//! property tests — which is what lets RealConfig treat configuration
+//! *text* diffs and *AST* diffs interchangeably.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+use crate::types::{Ip, Prefix};
+
+fn mask_str(len: u8) -> String {
+    let m = if len == 0 { 0 } else { u32::MAX << (32 - len) };
+    Ip(m).to_string()
+}
+
+fn prefix_or_any(p: Prefix) -> String {
+    if p == Prefix::DEFAULT {
+        "any".to_string()
+    } else {
+        p.to_string()
+    }
+}
+
+/// Render a device configuration as canonical text.
+pub fn print_config(cfg: &DeviceConfig) -> String {
+    let mut s = String::new();
+    let w = &mut s;
+
+    if !cfg.hostname.is_empty() {
+        writeln!(w, "hostname {}", cfg.hostname).unwrap();
+        writeln!(w, "!").unwrap();
+    }
+
+    for iface in &cfg.interfaces {
+        writeln!(w, "interface {}", iface.name).unwrap();
+        if let Some((ip, len)) = iface.address {
+            writeln!(w, " ip address {} {}", ip, mask_str(len)).unwrap();
+        }
+        if let Some(c) = iface.ospf_cost {
+            writeln!(w, " ip ospf cost {c}").unwrap();
+        }
+        if let Some(a) = &iface.acl_in {
+            writeln!(w, " ip access-group {a} in").unwrap();
+        }
+        if let Some(a) = &iface.acl_out {
+            writeln!(w, " ip access-group {a} out").unwrap();
+        }
+        if iface.shutdown {
+            writeln!(w, " shutdown").unwrap();
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    if let Some(ospf) = &cfg.ospf {
+        writeln!(w, "router ospf {}", ospf.process_id).unwrap();
+        for p in &ospf.networks {
+            writeln!(w, " network {p} area 0").unwrap();
+        }
+        for r in &ospf.redistribute {
+            writeln!(w, " redistribute {} metric {}", redist_str(r.source), r.metric).unwrap();
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    if let Some(rip) = &cfg.rip {
+        writeln!(w, "router rip").unwrap();
+        for p in &rip.networks {
+            writeln!(w, " network {p}").unwrap();
+        }
+        for r in &rip.redistribute {
+            writeln!(w, " redistribute {} metric {}", redist_str(r.source), r.metric).unwrap();
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    if let Some(bgp) = &cfg.bgp {
+        writeln!(w, "router bgp {}", bgp.asn).unwrap();
+        for p in &bgp.networks {
+            writeln!(w, " network {p}").unwrap();
+        }
+        for nb in &bgp.neighbors {
+            writeln!(w, " neighbor {} remote-as {}", nb.addr, nb.remote_as).unwrap();
+            if let Some(rm) = &nb.route_map_in {
+                writeln!(w, " neighbor {} route-map {} in", nb.addr, rm).unwrap();
+            }
+            if let Some(rm) = &nb.route_map_out {
+                writeln!(w, " neighbor {} route-map {} out", nb.addr, rm).unwrap();
+            }
+        }
+        for r in &bgp.redistribute {
+            writeln!(w, " redistribute {} metric {}", redist_str(r.source), r.metric).unwrap();
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    for sr in &cfg.static_routes {
+        let nh = match &sr.next_hop {
+            NextHop::Interface(i) => i.clone(),
+            NextHop::Address(a) => a.to_string(),
+            NextHop::Drop => "null0".to_string(),
+        };
+        writeln!(w, "ip route {} {}", sr.prefix, nh).unwrap();
+    }
+    if !cfg.static_routes.is_empty() {
+        writeln!(w, "!").unwrap();
+    }
+
+    for rm in &cfg.route_maps {
+        for e in &rm.entries {
+            let action = match e.action {
+                RouteMapAction::Permit => "permit",
+                RouteMapAction::Deny => "deny",
+            };
+            writeln!(w, "route-map {} {} {}", rm.name, action, e.seq).unwrap();
+            if let Some(p) = e.match_prefix {
+                writeln!(w, " match ip address prefix {p}").unwrap();
+            }
+            if let Some(lp) = e.set_local_pref {
+                writeln!(w, " set local-preference {lp}").unwrap();
+            }
+            if let Some(m) = e.set_metric {
+                writeln!(w, " set metric {m}").unwrap();
+            }
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    for acl in &cfg.acls {
+        writeln!(w, "ip access-list extended {}", acl.name).unwrap();
+        for e in &acl.entries {
+            let action = match e.action {
+                AclAction::Permit => "permit",
+                AclAction::Deny => "deny",
+            };
+            let proto = match e.proto {
+                None => "ip".to_string(),
+                Some(1) => "icmp".to_string(),
+                Some(6) => "tcp".to_string(),
+                Some(17) => "udp".to_string(),
+                Some(n) => n.to_string(),
+            };
+            let mut line =
+                format!(" {} {} {} {} {}", e.seq, action, proto, prefix_or_any(e.src), prefix_or_any(e.dst));
+            if let Some((lo, hi)) = e.dst_ports {
+                if lo == hi {
+                    write!(line, " eq {lo}").unwrap();
+                } else {
+                    write!(line, " range {lo} {hi}").unwrap();
+                }
+            }
+            writeln!(w, "{line}").unwrap();
+        }
+        writeln!(w, "!").unwrap();
+    }
+
+    s
+}
+
+fn redist_str(s: RedistSource) -> &'static str {
+    match s {
+        RedistSource::Connected => "connected",
+        RedistSource::Static => "static",
+        RedistSource::Ospf => "ospf",
+        RedistSource::Rip => "rip",
+        RedistSource::Bgp => "bgp",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_config;
+    use crate::types::Ip;
+
+    #[test]
+    fn round_trip_sample() {
+        let mut cfg = DeviceConfig::new("r9");
+        cfg.interfaces.push(InterfaceConfig {
+            name: "eth0".into(),
+            address: Some((Ip::new(10, 0, 0, 1), 30)),
+            ospf_cost: Some(7),
+            acl_in: Some("A".into()),
+            acl_out: None,
+            shutdown: true,
+        });
+        cfg.ospf = Some(OspfConfig {
+            process_id: 1,
+            networks: vec!["10.0.0.0/8".parse().unwrap()],
+            redistribute: vec![Redistribution { source: RedistSource::Bgp, metric: 5 }],
+        });
+        cfg.bgp = Some(BgpConfig {
+            asn: 65000,
+            networks: vec!["172.16.0.0/24".parse().unwrap()],
+            neighbors: vec![BgpNeighbor {
+                addr: Ip::new(10, 0, 0, 2),
+                remote_as: 65001,
+                route_map_in: Some("LP".into()),
+                route_map_out: None,
+            }],
+            redistribute: vec![],
+        });
+        cfg.static_routes.push(StaticRoute {
+            prefix: "0.0.0.0/0".parse().unwrap(),
+            next_hop: NextHop::Address(Ip::new(10, 0, 0, 2)),
+        });
+        cfg.route_maps.push(RouteMap {
+            name: "LP".into(),
+            entries: vec![RouteMapEntry {
+                seq: 10,
+                action: RouteMapAction::Permit,
+                match_prefix: None,
+                set_local_pref: Some(150),
+                set_metric: None,
+            }],
+        });
+        cfg.acls.push(Acl {
+            name: "A".into(),
+            entries: vec![AclEntry {
+                seq: 10,
+                action: AclAction::Deny,
+                proto: Some(6),
+                src: Prefix::DEFAULT,
+                dst: "172.16.0.0/24".parse().unwrap(),
+                dst_ports: Some((80, 443)),
+            }],
+        });
+
+        let text = print_config(&cfg);
+        let reparsed = parse_config(&text).unwrap();
+        assert_eq!(reparsed, cfg, "round trip failed for:\n{text}");
+    }
+
+    #[test]
+    fn empty_config_prints_empty() {
+        assert_eq!(print_config(&DeviceConfig::default()), "");
+    }
+}

@@ -1,0 +1,315 @@
+//! Abstract topologies and generators.
+//!
+//! A [`Topology`] names devices, physical links (with interface names on
+//! both ends), and which host prefixes each device originates. Config
+//! generators ([`crate::gen`]) turn a topology plus a protocol choice
+//! into concrete per-device configurations; the paper's evaluation
+//! topology is [`fat_tree`]`(12)` — 180 switches, 864 physical links.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::types::Prefix;
+
+/// One end of a physical link.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct End {
+    pub device: String,
+    pub iface: String,
+}
+
+/// A physical link between two device interfaces.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LinkSpec {
+    pub a: End,
+    pub b: End,
+}
+
+/// An abstract network topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    /// Device hostnames, sorted.
+    pub devices: Vec<String>,
+    /// Physical links; interface names are unique per device.
+    pub links: Vec<LinkSpec>,
+    /// Host prefixes originated by each device (e.g., server subnets
+    /// attached to edge switches).
+    pub host_prefixes: BTreeMap<String, Vec<Prefix>>,
+}
+
+impl Topology {
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of physical (undirected) links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Degree (number of link endpoints) of a device.
+    pub fn degree(&self, device: &str) -> usize {
+        self.links.iter().filter(|l| l.a.device == device || l.b.device == device).count()
+    }
+
+    fn finish(mut self) -> Self {
+        self.devices.sort();
+        self.devices.dedup();
+        self.links.sort();
+        self
+    }
+}
+
+/// Helper tracking the next free interface index per device.
+struct IfaceAlloc(BTreeMap<String, u32>);
+
+impl IfaceAlloc {
+    fn new() -> Self {
+        IfaceAlloc(BTreeMap::new())
+    }
+
+    fn next(&mut self, device: &str) -> String {
+        let n = self.0.entry(device.to_string()).or_insert(0);
+        let name = format!("eth{n}");
+        *n += 1;
+        name
+    }
+
+    fn link(&mut self, topo: &mut Topology, a: &str, b: &str) {
+        let ia = self.next(a);
+        let ib = self.next(b);
+        topo.links.push(LinkSpec {
+            a: End { device: a.to_string(), iface: ia },
+            b: End { device: b.to_string(), iface: ib },
+        });
+    }
+}
+
+/// The `i`-th host prefix: `172.16.0.0/12` carved into /24s.
+pub fn host_prefix(i: u32) -> Prefix {
+    assert!(i < (1 << 12), "host prefix index {i} out of the /12 space");
+    Prefix::new(crate::types::Ip(0xAC10_0000 | (i << 8)), 24)
+}
+
+/// A `k`-ary fat tree (`k` even): `(k/2)²` core switches, `k` pods of
+/// `k/2` aggregation and `k/2` edge switches. Every edge switch
+/// originates one host /24. `fat_tree(12)` is the paper's evaluation
+/// topology: 180 devices, 864 links.
+pub fn fat_tree(k: u32) -> Topology {
+    assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even, got {k}");
+    let half = k / 2;
+    let mut topo = Topology::default();
+    let mut alloc = IfaceAlloc::new();
+
+    let core = |i: u32| format!("core{i:03}");
+    let aggr = |p: u32, a: u32| format!("pod{p:02}-aggr{a:02}");
+    let edge = |p: u32, e: u32| format!("pod{p:02}-edge{e:02}");
+
+    for i in 0..half * half {
+        topo.devices.push(core(i));
+    }
+    let mut host_idx = 0u32;
+    for p in 0..k {
+        for a in 0..half {
+            topo.devices.push(aggr(p, a));
+        }
+        for e in 0..half {
+            let name = edge(p, e);
+            topo.host_prefixes.insert(name.clone(), vec![host_prefix(host_idx)]);
+            host_idx += 1;
+            topo.devices.push(name);
+        }
+    }
+
+    for p in 0..k {
+        // Edge ↔ aggregation: full bipartite within the pod.
+        for e in 0..half {
+            for a in 0..half {
+                let en = edge(p, e);
+                let an = aggr(p, a);
+                alloc.link(&mut topo, &en, &an);
+            }
+        }
+        // Aggregation `a` ↔ core group `a`.
+        for a in 0..half {
+            for c in 0..half {
+                let an = aggr(p, a);
+                let cn = core(a * half + c);
+                alloc.link(&mut topo, &an, &cn);
+            }
+        }
+    }
+
+    topo.finish()
+}
+
+/// A ring of `n` devices, each originating one host /24.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 3, "ring needs at least 3 devices");
+    let mut topo = Topology::default();
+    let mut alloc = IfaceAlloc::new();
+    let name = |i: u32| format!("r{i:03}");
+    for i in 0..n {
+        topo.devices.push(name(i));
+        topo.host_prefixes.insert(name(i), vec![host_prefix(i)]);
+    }
+    for i in 0..n {
+        let a = name(i);
+        let b = name((i + 1) % n);
+        alloc.link(&mut topo, &a, &b);
+    }
+    topo.finish()
+}
+
+/// A `w`×`h` grid, each device originating one host /24.
+pub fn grid(w: u32, h: u32) -> Topology {
+    assert!(w >= 1 && h >= 1 && w * h >= 2, "grid too small");
+    let mut topo = Topology::default();
+    let mut alloc = IfaceAlloc::new();
+    let name = |x: u32, y: u32| format!("g{x:02}x{y:02}");
+    let mut i = 0;
+    for x in 0..w {
+        for y in 0..h {
+            topo.devices.push(name(x, y));
+            topo.host_prefixes.insert(name(x, y), vec![host_prefix(i)]);
+            i += 1;
+        }
+    }
+    for x in 0..w {
+        for y in 0..h {
+            if x + 1 < w {
+                let (a, b) = (name(x, y), name(x + 1, y));
+                alloc.link(&mut topo, &a, &b);
+            }
+            if y + 1 < h {
+                let (a, b) = (name(x, y), name(x, y + 1));
+                alloc.link(&mut topo, &a, &b);
+            }
+        }
+    }
+    topo.finish()
+}
+
+/// A connected random graph: a random spanning tree plus each extra
+/// edge with probability `p`. Deterministic for a given `seed`.
+pub fn random_connected(n: u32, p: f64, seed: u64) -> Topology {
+    assert!(n >= 2, "need at least 2 devices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut topo = Topology::default();
+    let mut alloc = IfaceAlloc::new();
+    let name = |i: u32| format!("r{i:03}");
+    for i in 0..n {
+        topo.devices.push(name(i));
+        topo.host_prefixes.insert(name(i), vec![host_prefix(i)]);
+    }
+    let mut linked: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    // Random spanning tree: attach each node to a random earlier node.
+    for i in 1..n {
+        let j = rng.gen_range(0..i);
+        linked.insert((j, i));
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !linked.contains(&(i, j)) && rng.gen_bool(p) {
+                linked.insert((i, j));
+            }
+        }
+    }
+    for (i, j) in linked {
+        let (a, b) = (name(i), name(j));
+        alloc.link(&mut topo, &a, &b);
+    }
+    topo.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fat_tree_paper_dimensions() {
+        // The paper's evaluation topology: 180 nodes, 864 links.
+        let t = fat_tree(12);
+        assert_eq!(t.num_devices(), 180);
+        assert_eq!(t.num_links(), 864);
+        // 72 edge switches originate one /24 each.
+        assert_eq!(t.host_prefixes.len(), 72);
+    }
+
+    #[test]
+    fn fat_tree_small_structure() {
+        let t = fat_tree(4);
+        assert_eq!(t.num_devices(), 4 + 8 + 8); // 4 core, 8 aggr, 8 edge
+        assert_eq!(t.num_links(), 32);
+        // Every edge switch has k/2 = 2 uplinks.
+        assert_eq!(t.degree("pod00-edge00"), 2);
+        // Every aggregation switch has k/2 down + k/2 up = 4.
+        assert_eq!(t.degree("pod00-aggr00"), 4);
+        // Every core switch connects to all k pods.
+        assert_eq!(t.degree("core000"), 4);
+    }
+
+    #[test]
+    fn interface_names_unique_per_device() {
+        let t = fat_tree(4);
+        let mut seen = std::collections::BTreeSet::new();
+        for l in &t.links {
+            assert!(seen.insert((l.a.device.clone(), l.a.iface.clone())), "dup {:?}", l.a);
+            assert!(seen.insert((l.b.device.clone(), l.b.iface.clone())), "dup {:?}", l.b);
+        }
+    }
+
+    #[test]
+    fn ring_and_grid_shapes() {
+        let r = ring(5);
+        assert_eq!(r.num_devices(), 5);
+        assert_eq!(r.num_links(), 5);
+        assert_eq!(r.degree("r000"), 2);
+
+        let g = grid(3, 4);
+        assert_eq!(g.num_devices(), 12);
+        assert_eq!(g.num_links(), 3 * 3 + 2 * 4); // vertical + horizontal
+        assert_eq!(g.degree("g00x00"), 2);
+        assert_eq!(g.degree("g01x01"), 4);
+    }
+
+    #[test]
+    fn random_topology_is_connected_and_deterministic() {
+        let t1 = random_connected(20, 0.1, 42);
+        let t2 = random_connected(20, 0.1, 42);
+        assert_eq!(t1.links, t2.links);
+        assert!(t1.num_links() >= 19, "spanning tree guarantees n-1 links");
+        // Connectivity via union-find.
+        let idx: BTreeMap<&str, usize> =
+            t1.devices.iter().enumerate().map(|(i, d)| (d.as_str(), i)).collect();
+        let mut parent: Vec<usize> = (0..t1.devices.len()).collect();
+        fn find(p: &mut Vec<usize>, x: usize) -> usize {
+            if p[x] != x {
+                let r = find(p, p[x]);
+                p[x] = r;
+            }
+            p[x]
+        }
+        for l in &t1.links {
+            let (a, b) = (idx[l.a.device.as_str()], idx[l.b.device.as_str()]);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+        let root = find(&mut parent, 0);
+        for i in 0..t1.devices.len() {
+            assert_eq!(find(&mut parent, i), root, "device {i} disconnected");
+        }
+    }
+
+    #[test]
+    fn host_prefixes_disjoint() {
+        for i in 0..100 {
+            for j in (i + 1)..100 {
+                assert!(!host_prefix(i).overlaps(host_prefix(j)));
+            }
+        }
+    }
+}

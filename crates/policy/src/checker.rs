@@ -1,0 +1,385 @@
+//! The incremental network policy checker (paper §4.2, third stage).
+//!
+//! The checker keeps, per EC, the analysis of its forwarding graph, and
+//! the two maps the paper describes: EC → forwarding state (our
+//! [`EcAnalysis`] generalizes "set of paths") and (src, dst) pair → the
+//! ECs deliverable between them. After a batch of data plane model
+//! changes it re-analyzes **only the affected ECs**, updates the pair
+//! map for the pairs those ECs touch, and re-evaluates **only the
+//! policies registered on affected packets** — reporting both newly
+//! violated and newly satisfied policies (the latter lets an operator
+//! confirm a repair worked).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use rc_apkeep::{ApkModel, BatchSummary, EcId};
+use rc_bdd::Ref;
+use rc_netcfg::types::{NodeId, Port, Prefix};
+
+use crate::walk::{analyze, build_ec_graph, EcAnalysis};
+
+/// Identifier of a registered policy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PolicyId(pub u32);
+
+/// The packets a policy speaks about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketClass {
+    /// All packets.
+    All,
+    /// Packets destined to a prefix.
+    DstPrefix(Prefix),
+    /// A flow: optional protocol / destination prefix / destination
+    /// port constraints, conjoined.
+    Flow { proto: Option<u8>, dst_prefix: Option<Prefix>, dst_port: Option<u16> },
+}
+
+/// A forwarding policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Every packet of `class` injected at `src` must be able to reach
+    /// a delivery at `dst`.
+    Reachability { src: NodeId, dst: NodeId, class: PacketClass },
+    /// No packet of `class` injected at `src` may reach `dst`.
+    Isolation { src: NodeId, dst: NodeId, class: PacketClass },
+    /// Packets of `class` delivered from `src` to `dst` must always
+    /// traverse `via`.
+    Waypoint { src: NodeId, dst: NodeId, via: NodeId, class: PacketClass },
+    /// No packet of `class` may enter a forwarding loop, from any
+    /// source.
+    LoopFree { class: PacketClass },
+    /// No packet of `class` injected at `src` may be dropped in the
+    /// network (ACL denies are intentional and do not count).
+    BlackholeFree { src: NodeId, class: PacketClass },
+}
+
+struct Registered {
+    policy: Policy,
+    pred: Ref,
+    satisfied: bool,
+}
+
+/// Report of one (full or incremental) checking pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// ECs re-analyzed in this pass.
+    pub affected_ecs: usize,
+    /// (src, dst) pairs whose paths were modified (rerouted or
+    /// gained/lost delivery) — the paper's "#Pairs affected", i.e. the
+    /// pairs the incremental checker had to revisit.
+    pub affected_pairs: usize,
+    /// (src, dst) pairs whose deliverable-EC set actually changed
+    /// (a subset of `affected_pairs`).
+    pub changed_pairs: usize,
+    /// Total pairs currently in the reachability map.
+    pub total_pairs: usize,
+    /// Policies re-evaluated.
+    pub policies_checked: usize,
+    /// Policies that switched satisfied → violated.
+    pub newly_violated: Vec<PolicyId>,
+    /// Policies that switched violated → satisfied.
+    pub newly_satisfied: Vec<PolicyId>,
+}
+
+/// The incremental policy checker. Holds EC-keyed state; must be used
+/// with the *same* [`ApkModel`] across its lifetime (its predicates
+/// live in that model's BDD manager).
+pub struct PolicyChecker {
+    nodes: BTreeSet<NodeId>,
+    topo: BTreeMap<Port, Port>,
+    ec_state: HashMap<EcId, EcAnalysis>,
+    pair_ecs: BTreeMap<(NodeId, NodeId), BTreeSet<EcId>>,
+    /// Reverse index: which ECs' forwarding uses a port.
+    port_users: HashMap<Port, BTreeSet<EcId>>,
+    policies: Vec<Registered>,
+}
+
+impl Default for PolicyChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolicyChecker {
+    pub fn new() -> Self {
+        PolicyChecker {
+            nodes: BTreeSet::new(),
+            topo: BTreeMap::new(),
+            ec_state: HashMap::new(),
+            pair_ecs: BTreeMap::new(),
+            port_users: HashMap::new(),
+            policies: Vec::new(),
+        }
+    }
+
+    /// Add or remove devices.
+    pub fn set_nodes(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        self.nodes = nodes.into_iter().collect();
+    }
+
+    /// Apply directed link changes (`+1` up, `-1` down). Returns the ECs
+    /// whose forwarding used an affected port (they must be re-checked
+    /// even if no FIB rule changed).
+    pub fn apply_link_delta(&mut self, delta: &[(Port, Port, isize)]) -> BTreeSet<EcId> {
+        let mut touched = BTreeSet::new();
+        for &(src, dst, diff) in delta {
+            if diff > 0 {
+                self.topo.insert(src, dst);
+            } else {
+                self.topo.remove(&src);
+            }
+            for port in [src, dst] {
+                if let Some(users) = self.port_users.get(&port) {
+                    touched.extend(users.iter().copied());
+                }
+            }
+        }
+        touched
+    }
+
+    /// Register a policy. Its packet-class predicate is compiled into
+    /// the model's BDD manager. The policy starts "satisfied" and gets
+    /// its real status on the next check.
+    pub fn add_policy(&mut self, model: &mut ApkModel, policy: Policy) -> PolicyId {
+        let class = match &policy {
+            Policy::Reachability { class, .. }
+            | Policy::Isolation { class, .. }
+            | Policy::Waypoint { class, .. }
+            | Policy::LoopFree { class }
+            | Policy::BlackholeFree { class, .. } => *class,
+        };
+        let pred = match class {
+            PacketClass::All => Ref::TRUE,
+            PacketClass::DstPrefix(p) => {
+                model.bdd().pkt_prefix(rc_bdd::pkt::Field::DstIp, p.addr().0, p.len() as u32)
+            }
+            PacketClass::Flow { proto, dst_prefix, dst_port } => {
+                use rc_bdd::pkt::Field;
+                let bdd = model.bdd();
+                let mut acc = Ref::TRUE;
+                if let Some(pr) = proto {
+                    let p = bdd.pkt_value(Field::Proto, pr as u32);
+                    acc = bdd.and(acc, p);
+                }
+                if let Some(p) = dst_prefix {
+                    let d = bdd.pkt_prefix(Field::DstIp, p.addr().0, p.len() as u32);
+                    acc = bdd.and(acc, d);
+                }
+                if let Some(pt) = dst_port {
+                    let d = bdd.pkt_value(Field::DstPort, pt as u32);
+                    acc = bdd.and(acc, d);
+                }
+                acc
+            }
+        };
+        let id = PolicyId(self.policies.len() as u32);
+        self.policies.push(Registered { policy, pred, satisfied: true });
+        id
+    }
+
+    /// Current status of a policy.
+    pub fn is_satisfied(&self, id: PolicyId) -> bool {
+        self.policies[id.0 as usize].satisfied
+    }
+
+    /// The ECs currently deliverable from `src` to `dst`.
+    pub fn pair_ecs(&self, src: NodeId, dst: NodeId) -> Option<&BTreeSet<EcId>> {
+        self.pair_ecs.get(&(src, dst))
+    }
+
+    /// Number of (src, dst) pairs with at least one deliverable EC.
+    pub fn num_pairs(&self) -> usize {
+        self.pair_ecs.len()
+    }
+
+    /// Build the forwarding graph of one EC over the checker's current
+    /// topology (for tracing and ad-hoc queries).
+    pub fn ec_graph(&self, model: &ApkModel, ec: EcId) -> crate::walk::EcGraph {
+        crate::walk::build_ec_graph(model, ec, &self.nodes, &self.topo, None)
+    }
+
+    /// Check everything from scratch (initial verification).
+    pub fn check_full(&mut self, model: &mut ApkModel) -> CheckReport {
+        let all: BTreeSet<EcId> = model.ecs().collect();
+        self.recheck(model, all, true)
+    }
+
+    /// Incremental check after a data plane model batch: re-analyze the
+    /// affected ECs (plus any invalidated by `extra`, e.g. link
+    /// changes) and re-evaluate only policies registered on them.
+    pub fn check_incremental(
+        &mut self,
+        model: &mut ApkModel,
+        summary: &BatchSummary,
+        extra: BTreeSet<EcId>,
+    ) -> CheckReport {
+        // Splits first: the child EC behaves exactly like its pre-split
+        // parent until a move says otherwise.
+        for &(parent, child) in &summary.splits {
+            if let Some(state) = self.ec_state.get(&parent).cloned() {
+                for port in &state.ports_used {
+                    self.port_users.entry(*port).or_default().insert(child);
+                }
+                for ecs in self.pair_ecs.values_mut() {
+                    if ecs.contains(&parent) {
+                        ecs.insert(child);
+                    }
+                }
+                self.ec_state.insert(child, state);
+            }
+        }
+        let mut affected: BTreeSet<EcId> = extra;
+        affected.extend(summary.affected.iter().map(|a| a.ec));
+        // A split refines the parent's predicate: both halves need
+        // re-analysis only if a move happened, which `affected` already
+        // captures; but the *parent* keeps state computed for the wider
+        // predicate — its graph is unchanged (forwarding state was
+        // uniform), so nothing to redo.
+        self.recheck(model, affected, false)
+    }
+
+    fn recheck(&mut self, model: &mut ApkModel, affected: BTreeSet<EcId>, full: bool) -> CheckReport {
+        let mut report = CheckReport { affected_ecs: affected.len(), ..Default::default() };
+        let mut changed_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        let mut touched_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+
+        for &ec in &affected {
+            let graph = build_ec_graph(model, ec, &self.nodes, &self.topo, None);
+            let new = analyze(&graph);
+            let old = self.ec_state.remove(&ec).unwrap_or_default();
+
+            // Update the port reverse index.
+            for port in old.ports_used.difference(&new.ports_used) {
+                if let Some(users) = self.port_users.get_mut(port) {
+                    users.remove(&ec);
+                }
+            }
+            for port in new.ports_used.difference(&old.ports_used) {
+                self.port_users.entry(*port).or_default().insert(ec);
+            }
+
+            // Update the pair map: the pairs (s, d) with d in
+            // delivered(s) changed where old and new disagree.
+            for (src, dsts) in &old.delivered {
+                for d in dsts {
+                    if !new.delivered.get(src).is_some_and(|nd| nd.contains(d)) {
+                        changed_pairs.insert((*src, *d));
+                        if let Some(set) = self.pair_ecs.get_mut(&(*src, *d)) {
+                            set.remove(&ec);
+                            if set.is_empty() {
+                                self.pair_ecs.remove(&(*src, *d));
+                            }
+                        }
+                    }
+                }
+            }
+            for (src, dsts) in &new.delivered {
+                for d in dsts {
+                    if !old.delivered.get(src).is_some_and(|od| od.contains(d)) {
+                        changed_pairs.insert((*src, *d));
+                        self.pair_ecs.entry((*src, *d)).or_default().insert(ec);
+                    }
+                }
+            }
+            // Pairs whose paths were modified: sources whose path
+            // signature changed, paired with every delivery endpoint
+            // they had before or have now.
+            let mut srcs: BTreeSet<NodeId> = BTreeSet::new();
+            srcs.extend(old.path_sig.keys().copied());
+            srcs.extend(new.path_sig.keys().copied());
+            for s in srcs {
+                if old.path_sig.get(&s) == new.path_sig.get(&s) {
+                    continue;
+                }
+                for dsts in [old.delivered.get(&s), new.delivered.get(&s)].into_iter().flatten() {
+                    for d in dsts {
+                        touched_pairs.insert((s, *d));
+                    }
+                }
+            }
+            self.ec_state.insert(ec, new);
+        }
+
+        touched_pairs.extend(changed_pairs.iter().copied());
+        report.affected_pairs = touched_pairs.len();
+        report.changed_pairs = changed_pairs.len();
+        report.total_pairs = self.pair_ecs.len();
+
+        // Re-evaluate policies registered on affected packets.
+        let affected_pred = if full {
+            Ref::TRUE
+        } else {
+            let preds: Vec<Ref> = affected.iter().map(|&e| model.ec_pred(e)).collect();
+            let bdd = model.bdd();
+            bdd.or_all(preds)
+        };
+        for idx in 0..self.policies.len() {
+            let relevant = full || {
+                let pred = self.policies[idx].pred;
+                !model.bdd().and(pred, affected_pred).is_false()
+            };
+            if !relevant {
+                continue;
+            }
+            report.policies_checked += 1;
+            let now = self.evaluate(model, idx);
+            let was = self.policies[idx].satisfied;
+            self.policies[idx].satisfied = now;
+            match (was, now) {
+                (true, false) => report.newly_violated.push(PolicyId(idx as u32)),
+                (false, true) => report.newly_satisfied.push(PolicyId(idx as u32)),
+                _ => {}
+            }
+        }
+        report
+    }
+
+    fn evaluate(&mut self, model: &mut ApkModel, idx: usize) -> bool {
+        let pred = self.policies[idx].pred;
+        let policy = self.policies[idx].policy.clone();
+        let ecs = model.ecs_intersecting(pred);
+        match policy {
+            Policy::Reachability { src, dst, .. } => {
+                // Every packet of the class must have a delivering EC.
+                let mut uncovered = pred;
+                for &ec in &ecs {
+                    if self.delivers(ec, src, dst) {
+                        let ep = model.ec_pred(ec);
+                        uncovered = model.bdd().diff(uncovered, ep);
+                        if uncovered.is_false() {
+                            break;
+                        }
+                    }
+                }
+                uncovered.is_false()
+            }
+            Policy::Isolation { src, dst, .. } => {
+                ecs.iter().all(|&ec| !self.delivers(ec, src, dst))
+            }
+            Policy::Waypoint { src, dst, via, .. } => ecs.iter().all(|&ec| {
+                if !self.delivers(ec, src, dst) {
+                    return true; // vacuous: nothing delivered
+                }
+                // Deliverable while avoiding the waypoint ⇒ violated.
+                let g = build_ec_graph(model, ec, &self.nodes, &self.topo, Some(via));
+                let a = analyze(&g);
+                !a.delivered.get(&src).is_some_and(|d| d.contains(&dst))
+            }),
+            Policy::LoopFree { .. } => ecs.iter().all(|&ec| {
+                self.ec_state.get(&ec).map_or(true, |s| s.looping.is_empty())
+            }),
+            Policy::BlackholeFree { src, .. } => ecs.iter().all(|&ec| {
+                self.ec_state
+                    .get(&ec)
+                    .map_or(true, |s| !s.dropped.contains_key(&src))
+            }),
+        }
+    }
+
+    fn delivers(&self, ec: EcId, src: NodeId, dst: NodeId) -> bool {
+        self.ec_state
+            .get(&ec)
+            .and_then(|s| s.delivered.get(&src))
+            .is_some_and(|d| d.contains(&dst))
+    }
+}

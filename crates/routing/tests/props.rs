@@ -1,0 +1,243 @@
+//! Differential testing: for random topologies and random configuration
+//! change sequences, the incrementally-maintained FIB must equal the
+//! from-scratch baseline after every single change.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use rc_netcfg::ast::{AclAction, AclEntry, NextHop, RedistSource};
+use rc_netcfg::change::{AclDir, ChangeOp, ChangeSet, RedistTarget};
+use rc_netcfg::facts::{fact_delta, lower, Registry};
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{grid, host_prefix, random_connected, ring};
+use rc_netcfg::types::Prefix;
+use rc_netcfg::DeviceConfig;
+use rc_routing::baseline;
+use rc_routing::engine::RoutingEngine;
+
+/// Abstract change commands, instantiated against a topology's actual
+/// device/interface space by index arithmetic.
+#[derive(Clone, Debug)]
+enum Cmd {
+    ToggleIface { dev: usize, iface: usize },
+    SetCost { dev: usize, iface: usize, cost: u32 },
+    SetLocalPref { dev: usize, iface: usize, pref: u32 },
+    AddStaticDrop { dev: usize, pfx: u32 },
+    RemoveStatic { dev: usize, pfx: u32 },
+    AddAclDeny { dev: usize, iface: usize, pfx: u32 },
+    RedistStatic { dev: usize },
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    let cmd = prop_oneof![
+        3 => (0usize..20, 0usize..4).prop_map(|(dev, iface)| Cmd::ToggleIface { dev, iface }),
+        2 => (0usize..20, 0usize..4, prop_oneof![Just(1u32), Just(10), Just(100)])
+            .prop_map(|(dev, iface, cost)| Cmd::SetCost { dev, iface, cost }),
+        2 => (0usize..20, 0usize..4, prop_oneof![Just(50u32), Just(100), Just(150)])
+            .prop_map(|(dev, iface, pref)| Cmd::SetLocalPref { dev, iface, pref }),
+        1 => (0usize..20, 0u32..8).prop_map(|(dev, pfx)| Cmd::AddStaticDrop { dev, pfx }),
+        1 => (0usize..20, 0u32..8).prop_map(|(dev, pfx)| Cmd::RemoveStatic { dev, pfx }),
+        1 => (0usize..20, 0usize..4, 0u32..8)
+            .prop_map(|(dev, iface, pfx)| Cmd::AddAclDeny { dev, iface, pfx }),
+        1 => (0usize..20).prop_map(|dev| Cmd::RedistStatic { dev }),
+    ];
+    prop::collection::vec(cmd, 1..12)
+}
+
+/// Translate an abstract command into concrete change ops; returns None
+/// when the command does not apply (unknown iface, nothing to remove…).
+fn concretize(cmd: &Cmd, configs: &BTreeMap<String, DeviceConfig>) -> Option<ChangeSet> {
+    let devices: Vec<&String> = configs.keys().collect();
+    let pick_dev = |i: usize| devices[i % devices.len()].clone();
+    let pick_iface = |cfg: &DeviceConfig, i: usize| -> Option<String> {
+        let eths: Vec<_> =
+            cfg.interfaces.iter().filter(|f| f.name.starts_with("eth")).collect();
+        if eths.is_empty() {
+            None
+        } else {
+            Some(eths[i % eths.len()].name.clone())
+        }
+    };
+    let mut cs = ChangeSet::new();
+    match cmd {
+        Cmd::ToggleIface { dev, iface } => {
+            let d = pick_dev(*dev);
+            let i = pick_iface(&configs[&d], *iface)?;
+            let shut = configs[&d].interface(&i).unwrap().shutdown;
+            if shut {
+                cs.push(ChangeOp::EnableInterface { device: d, iface: i });
+            } else {
+                cs.push(ChangeOp::DisableInterface { device: d, iface: i });
+            }
+        }
+        Cmd::SetCost { dev, iface, cost } => {
+            let d = pick_dev(*dev);
+            if configs[&d].ospf.is_none() {
+                return None;
+            }
+            let i = pick_iface(&configs[&d], *iface)?;
+            cs.push(ChangeOp::SetOspfCost { device: d, iface: i, cost: *cost });
+        }
+        Cmd::SetLocalPref { dev, iface, pref } => {
+            let d = pick_dev(*dev);
+            if configs[&d].bgp.is_none() {
+                return None;
+            }
+            let i = pick_iface(&configs[&d], *iface)?;
+            // The interface may be shut (no session): still legal as a
+            // config change.
+            cs.push(ChangeOp::SetLocalPref { device: d, iface: i, pref: *pref });
+        }
+        Cmd::AddStaticDrop { dev, pfx } => {
+            let d = pick_dev(*dev);
+            cs.push(ChangeOp::AddStaticRoute {
+                device: d,
+                prefix: host_prefix(*pfx),
+                next_hop: NextHop::Drop,
+            });
+        }
+        Cmd::RemoveStatic { dev, pfx } => {
+            let d = pick_dev(*dev);
+            if !configs[&d].static_routes.iter().any(|r| r.prefix == host_prefix(*pfx)) {
+                return None;
+            }
+            cs.push(ChangeOp::RemoveStaticRoute { device: d, prefix: host_prefix(*pfx) });
+        }
+        Cmd::AddAclDeny { dev, iface, pfx } => {
+            let d = pick_dev(*dev);
+            let i = pick_iface(&configs[&d], *iface)?;
+            let seq = 10 + configs[&d].acl("T").map_or(0, |a| a.entries.len() as u32) * 10;
+            if configs[&d].acl("T").is_some_and(|a| a.entries.iter().any(|e| e.seq == seq)) {
+                return None;
+            }
+            cs.push(ChangeOp::AddAclEntry {
+                device: d.clone(),
+                acl: "T".into(),
+                entry: AclEntry {
+                    seq,
+                    action: AclAction::Deny,
+                    proto: None,
+                    src: Prefix::DEFAULT,
+                    dst: host_prefix(*pfx),
+                    dst_ports: None,
+                },
+            });
+            cs.push(ChangeOp::BindAcl { device: d, iface: i, dir: AclDir::In, acl: "T".into() });
+        }
+        Cmd::RedistStatic { dev } => {
+            let d = pick_dev(*dev);
+            let cfg = &configs[&d];
+            let target = if cfg.ospf.is_some() {
+                RedistTarget::Ospf
+            } else if cfg.bgp.is_some() {
+                RedistTarget::Bgp
+            } else {
+                return None;
+            };
+            // Only add once.
+            let already = match target {
+                RedistTarget::Ospf => cfg
+                    .ospf
+                    .as_ref()
+                    .unwrap()
+                    .redistribute
+                    .iter()
+                    .any(|r| r.source == RedistSource::Static),
+                RedistTarget::Bgp => cfg
+                    .bgp
+                    .as_ref()
+                    .unwrap()
+                    .redistribute
+                    .iter()
+                    .any(|r| r.source == RedistSource::Static),
+            };
+            if already {
+                return None;
+            }
+            cs.push(ChangeOp::AddRedistribution {
+                device: d,
+                into: target,
+                source: RedistSource::Static,
+                metric: 20,
+            });
+        }
+    }
+    Some(cs)
+}
+
+fn run_sequence(mut configs: BTreeMap<String, DeviceConfig>, cmds: Vec<Cmd>) {
+    let mut reg = Registry::new();
+    let lowered = lower(&configs, &mut reg);
+    let mut facts = lowered.facts;
+    let mut engine = RoutingEngine::new();
+    engine.apply(facts.iter().map(|f| (f.clone(), 1))).unwrap();
+    let oracle = baseline::compute(&facts).unwrap();
+    assert_eq!(engine.fib(), oracle.fib, "initial FIB mismatch");
+
+    for (step, cmd) in cmds.iter().enumerate() {
+        let Some(cs) = concretize(cmd, &configs) else { continue };
+        if cs.apply(&mut configs).is_err() {
+            continue;
+        }
+        let lowered = lower(&configs, &mut reg);
+        let delta = fact_delta(&facts, &lowered.facts);
+        facts = lowered.facts;
+        if engine.apply(delta).is_err() {
+            // Random local-pref settings can build genuine preference
+            // cycles. A divergent control plane poisons the epoch, so
+            // stop here — the scenario suite covers divergence
+            // reporting explicitly.
+            return;
+        }
+        let oracle = baseline::compute(&facts).unwrap();
+        assert_eq!(
+            engine.fib(),
+            oracle.fib,
+            "FIB mismatch after step {step} ({cmd:?})"
+        );
+        assert_eq!(engine.filters(), oracle.filters, "filter mismatch after step {step}");
+        if step % 5 == 4 {
+            engine.compact();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn ospf_ring_incremental_equals_baseline(cmds in arb_cmds()) {
+        run_sequence(build_configs(&ring(5), ProtocolChoice::Ospf), cmds);
+    }
+
+    #[test]
+    fn bgp_ring_incremental_equals_baseline(cmds in arb_cmds()) {
+        run_sequence(build_configs(&ring(5), ProtocolChoice::Bgp), cmds);
+    }
+
+    #[test]
+    fn ospf_grid_incremental_equals_baseline(cmds in arb_cmds()) {
+        run_sequence(build_configs(&grid(3, 3), ProtocolChoice::Ospf), cmds);
+    }
+
+    #[test]
+    fn bgp_random_incremental_equals_baseline(cmds in arb_cmds(), seed in 0u64..50) {
+        run_sequence(
+            build_configs(&random_connected(8, 0.3, seed), ProtocolChoice::Bgp),
+            cmds,
+        );
+    }
+
+    #[test]
+    fn rip_ring_incremental_equals_baseline(cmds in arb_cmds()) {
+        run_sequence(build_configs(&ring(5), ProtocolChoice::Rip), cmds);
+    }
+
+    #[test]
+    fn rip_random_incremental_equals_baseline(cmds in arb_cmds(), seed in 0u64..50) {
+        run_sequence(
+            build_configs(&random_connected(8, 0.3, seed), ProtocolChoice::Rip),
+            cmds,
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! Specification mining under link failures (paper §2, "Specification
+//! mining"): to learn which reachability guarantees hold under every
+//! single link failure (Config2Spec-style), the miner must compute one
+//! data plane per failure scenario. Incremental data plane generation
+//! makes that sweep cheap: each scenario is fail-one-link /
+//! restore-one-link, and only the affected routes are recomputed.
+//!
+//! Run with: `cargo run --release --example spec_mining`
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{fat_tree, host_prefix};
+use realconfig::{full_dataplane_baseline, full_dataplane_realconfig, ChangeOp, ChangeSet, RealConfig};
+
+fn main() {
+    let k = 6;
+    let topo = fat_tree(k);
+    let configs = build_configs(&topo, ProtocolChoice::Ospf);
+    println!(
+        "Mining failure-tolerant reachability on a k={k} fat tree ({} devices, {} links, OSPF).",
+        topo.num_devices(),
+        topo.num_links()
+    );
+
+    let edges: Vec<String> = configs.keys().filter(|d| d.contains("edge")).cloned().collect();
+    let (mut rc, full) = RealConfig::new(configs.clone()).expect("verifies");
+    println!("Full data plane generation: {:?}\n", full.dp_gen);
+
+    // The candidate specification space: edge-to-edge reachability.
+    let mut candidates: BTreeSet<(String, String)> = BTreeSet::new();
+    for s in &edges {
+        for d in &edges {
+            if s != d {
+                candidates.insert((s.clone(), d.clone()));
+            }
+        }
+    }
+    let holds = |rc: &RealConfig, s: &str, d: &str, di: usize| -> bool {
+        let (Some(sn), Some(dn)) = (rc.node(s), rc.node(d)) else { return false };
+        let _ = host_prefix(di as u32);
+        rc_policy_pair(rc, sn, dn)
+    };
+    // Base network: all candidates should hold.
+    let edge_index = |d: &str| edges.iter().position(|e| e == d).unwrap();
+    candidates.retain(|(s, d)| holds(&rc, s, d, edge_index(d)));
+    println!("{} candidate reachability specs hold in the healthy network.", candidates.len());
+
+    // Sweep every single link failure incrementally.
+    let mut incremental_time = std::time::Duration::ZERO;
+    let mut scenarios = 0usize;
+    let t_sweep = Instant::now();
+    for link in &topo.links {
+        let (dev, iface) = (&link.a.device, &link.a.iface);
+        let fail = ChangeSet::link_failure(dev, iface);
+        let report = rc.apply_change(&fail).expect("failure verifies");
+        incremental_time += report.dp_gen;
+        scenarios += 1;
+
+        // Prune candidates that break under this failure.
+        candidates.retain(|(s, d)| holds(&rc, s, d, edge_index(d)));
+
+        // Restore.
+        let restore = ChangeSet {
+            ops: vec![ChangeOp::EnableInterface { device: dev.clone(), iface: iface.clone() }],
+        };
+        let report = rc.apply_change(&restore).expect("restore verifies");
+        incremental_time += report.dp_gen;
+        rc.compact();
+    }
+    let sweep_wall = t_sweep.elapsed();
+
+    println!(
+        "Swept {scenarios} single-link failures in {sweep_wall:?} \
+         (incremental data plane generation: {incremental_time:?}).",
+    );
+    println!(
+        "{} specs survive every single link failure (the mined 1-failure-tolerant spec).",
+        candidates.len()
+    );
+
+    // What would the same sweep cost with non-incremental generation?
+    // (The paper's §5 comparison: same general-purpose engine, from
+    // scratch per scenario.) Measure a few scenarios and extrapolate.
+    let sample = 5.min(topo.links.len());
+    let mut scratch_general = std::time::Duration::ZERO;
+    let mut scratch_custom = std::time::Duration::ZERO;
+    for link in topo.links.iter().take(sample) {
+        let mut failed = configs.clone();
+        ChangeSet::link_failure(&link.a.device, &link.a.iface).apply(&mut failed).unwrap();
+        let (d, _) = full_dataplane_realconfig(&failed).expect("converges");
+        scratch_general += d;
+        let (d, _) = full_dataplane_baseline(&failed).expect("converges");
+        scratch_custom += d;
+    }
+    let est_general = scratch_general * (scenarios as u32) / (sample as u32);
+    let est_custom = scratch_custom * (scenarios as u32) / (sample as u32);
+    println!(
+        "\nNon-incremental sweep estimates ({sample} scenarios measured, extrapolated):\n\
+         \x20 general-purpose engine from scratch: ~{est_general:?}\n\
+         \x20 custom-algorithm baseline          : ~{est_custom:?}",
+    );
+    let speedup = est_general.as_secs_f64() / incremental_time.as_secs_f64().max(1e-9);
+    println!("Incremental vs non-incremental (same engine): ~{speedup:.1}× faster");
+}
+
+/// Does any EC currently deliver from `s` to `d`?
+fn rc_policy_pair(rc: &RealConfig, s: realconfig::NodeId, d: realconfig::NodeId) -> bool {
+    rc.pair_reachable(s, d)
+}
