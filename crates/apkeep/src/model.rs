@@ -85,6 +85,36 @@ pub struct ApkModel {
     ec_preds: Vec<Ref>,
     elements: Vec<Element>,
     element_index: HashMap<ElementKey, usize>,
+    telemetry: Option<ApkTelemetry>,
+}
+
+/// Cached metric handles (name lookups happen once, at attach time).
+struct ApkTelemetry {
+    ecs: rc_telemetry::Gauge,
+    elements: rc_telemetry::Gauge,
+    rules: rc_telemetry::Gauge,
+    rules_applied: rc_telemetry::Counter,
+    ec_moves: rc_telemetry::Counter,
+    ec_splits: rc_telemetry::Counter,
+    ec_merges: rc_telemetry::Counter,
+    affected_ecs: rc_telemetry::Counter,
+    batch_rules: rc_telemetry::Histogram,
+}
+
+impl ApkTelemetry {
+    fn new(registry: &rc_telemetry::Telemetry) -> Self {
+        ApkTelemetry {
+            ecs: registry.gauge("apkeep.ecs"),
+            elements: registry.gauge("apkeep.elements"),
+            rules: registry.gauge("apkeep.rules"),
+            rules_applied: registry.counter("apkeep.rules_applied"),
+            ec_moves: registry.counter("apkeep.ec_moves"),
+            ec_splits: registry.counter("apkeep.ec_splits"),
+            ec_merges: registry.counter("apkeep.ec_merges"),
+            affected_ecs: registry.counter("apkeep.affected_ecs"),
+            batch_rules: registry.histogram("apkeep.batch_rules"),
+        }
+    }
 }
 
 impl Default for ApkModel {
@@ -102,7 +132,16 @@ impl ApkModel {
             ec_preds: vec![Ref::TRUE],
             elements: Vec::new(),
             element_index: HashMap::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry. Every batch records the transfer
+    /// size (`apkeep.batch_rules`, `apkeep.rules_applied`), EC churn
+    /// (`apkeep.ec_moves`/`ec_splits`/`ec_merges`), net affected ECs,
+    /// and the post-batch EC/element/rule totals as gauges.
+    pub fn set_telemetry(&mut self, registry: &rc_telemetry::Telemetry) {
+        self.telemetry = Some(ApkTelemetry::new(registry));
     }
 
     /// Number of live ECs.
@@ -422,7 +461,17 @@ impl ApkModel {
                 });
             }
         }
-        affected.sort_by(|a, b| (a.ec, a.element).cmp(&(b.ec, b.element)));
+        affected.sort_by_key(|a| (a.ec, a.element));
+        if let Some(tel) = &self.telemetry {
+            tel.rules_applied.add(tx.rules as u64);
+            tel.batch_rules.record(tx.rules as u64);
+            tel.ec_moves.add(tx.moves as u64);
+            tel.ec_splits.add(tx.splits.len() as u64);
+            tel.affected_ecs.add(affected.len() as u64);
+            tel.ecs.set(self.ec_preds.len() as i64);
+            tel.elements.set(self.elements.len() as i64);
+            tel.rules.set(self.num_rules() as i64);
+        }
         BatchSummary {
             affected,
             ec_moves: tx.moves,
@@ -481,6 +530,10 @@ impl ApkModel {
             }
             // Report merges in terms of pre-compaction ids; callers are
             // told ids are renumbered (documented) and should rebuild.
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.ec_merges.add(merges.len() as u64);
+            tel.ecs.set(self.ec_preds.len() as i64);
         }
         merges
     }

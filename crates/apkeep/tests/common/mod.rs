@@ -1,0 +1,187 @@
+//! Shared harness for the apkeep property tests and their pinned
+//! regression counterexamples: abstract rule encoding, the naive
+//! first-match oracle, and the two checkable properties as plain
+//! functions so `props.rs` (random inputs) and `regressions.rs`
+//! (counterexamples from props.proptest-regressions) exercise the
+//! exact same code path.
+#![allow(dead_code)]
+
+use rc_apkeep::*;
+use rc_bdd::pkt::Packet;
+use rc_netcfg::facts::Dir;
+use rc_netcfg::types::{IfaceId, Ip, NodeId, Prefix};
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+pub struct AbstractRule {
+    pub device: u32,
+    /// Prefix built from a small alphabet so overlaps actually happen.
+    pub base: u8,
+    pub len: u8,
+    pub iface: u32,
+    pub acl: bool,
+}
+
+pub fn rule_of(a: &AbstractRule) -> ModelRule {
+    // Prefixes like 10.B.0.0/len with len in 8..=16 out of two base
+    // octets — guarantees nesting and disjointness cases.
+    //
+    // The action is a function of the match: devices never hold two
+    // same-priority rules with identical matches and different actions
+    // (a FIB has one route per prefix, an ACL unique sequence numbers),
+    // and the model's semantics are only defined without such
+    // ambiguity.
+    let prefix = Prefix::new(Ip::new(10, a.base, 0, 0), a.len);
+    // Derive from the *canonical* prefix: short masks strip the base
+    // octet, and the action must be a function of what the rule
+    // actually matches.
+    let iface = (a.device + (prefix.addr().0 >> 16) + a.len as u32) % 4;
+    let a = AbstractRule { iface, ..a.clone() };
+    if a.acl {
+        ModelRule {
+            element: ElementKey::Filter(NodeId(a.device), IfaceId(0), Dir::In),
+            priority: u32::MAX - (a.len as u32 * 10 + a.iface),
+            rule_match: RuleMatch::Acl {
+                proto: if a.iface.is_multiple_of(2) { Some(6) } else { None },
+                src: Prefix::DEFAULT,
+                dst: prefix,
+                dst_ports: None,
+            },
+            action: if a.iface.is_multiple_of(3) { PortAction::Deny } else { PortAction::Permit },
+        }
+    } else {
+        ModelRule {
+            element: ElementKey::Forward(NodeId(a.device)),
+            priority: a.len as u32,
+            rule_match: RuleMatch::DstPrefix(prefix),
+            action: PortAction::forward(vec![IfaceId(a.iface)]),
+        }
+    }
+}
+
+/// Naive oracle: evaluate a packet against the live rule set of one
+/// element (highest priority first; deterministic tie-break mirrors the
+/// model's table order).
+pub fn naive_action(rules: &BTreeSet<ModelRule>, key: ElementKey, pkt: &Packet) -> PortAction {
+    let mut bdd = rc_bdd::Bdd::new();
+    let mut matching: Vec<&ModelRule> = rules.iter().filter(|r| r.element == key).collect();
+    // Model table order: priority desc, then match, then action.
+    matching.sort_by(|a, b| {
+        (std::cmp::Reverse(a.priority), a.rule_match, &a.action)
+            .cmp(&(std::cmp::Reverse(b.priority), b.rule_match, &b.action))
+    });
+    for r in matching {
+        let pred = match r.rule_match {
+            RuleMatch::DstPrefix(p) => {
+                bdd.pkt_prefix(rc_bdd::pkt::Field::DstIp, p.addr().0, p.len() as u32)
+            }
+            RuleMatch::Acl { proto, src, dst, dst_ports } => {
+                let mut acc = bdd.pkt_prefix(rc_bdd::pkt::Field::SrcIp, src.addr().0, src.len() as u32);
+                let d = bdd.pkt_prefix(rc_bdd::pkt::Field::DstIp, dst.addr().0, dst.len() as u32);
+                acc = bdd.and(acc, d);
+                if let Some(pr) = proto {
+                    let p = bdd.pkt_value(rc_bdd::pkt::Field::Proto, pr as u32);
+                    acc = bdd.and(acc, p);
+                }
+                if let Some((lo, hi)) = dst_ports {
+                    let rng = bdd.pkt_range(rc_bdd::pkt::Field::DstPort, lo as u32, hi as u32);
+                    acc = bdd.and(acc, rng);
+                }
+                acc
+            }
+        };
+        if bdd.pkt_eval(pred, pkt) {
+            return r.action.clone();
+        }
+    }
+    match key {
+        ElementKey::Forward(_) => PortAction::Drop,
+        ElementKey::Filter(..) => PortAction::Permit,
+    }
+}
+
+/// Property body: apply `seq` in batches of up to 3 (insert/remove
+/// toggling, order selected by `order_bits`), then check the model's
+/// packet-level behaviour against the naive oracle on `probes`.
+pub fn check_model_matches_naive(seq: &[AbstractRule], order_bits: u64, probes: &[(u8, u8, bool)]) {
+    let mut model = ApkModel::new();
+    let mut live: BTreeSet<ModelRule> = BTreeSet::new();
+
+    // Apply rules in batches of up to 3, toggling insert/remove and
+    // alternating update order.
+    for (i, chunk) in seq.chunks(3).enumerate() {
+        let mut batch = Vec::new();
+        let mut touched: BTreeSet<ModelRule> = BTreeSet::new();
+        for a in chunk {
+            let r = rule_of(a);
+            // Batches derive from set deltas: the same rule never
+            // appears as both insert and remove in one batch.
+            if !touched.insert(r.clone()) {
+                continue;
+            }
+            if live.contains(&r) {
+                live.remove(&r);
+                batch.push(RuleUpdate::Remove(r));
+            } else {
+                live.insert(r.clone());
+                batch.push(RuleUpdate::Insert(r));
+            }
+        }
+        let order = match (order_bits >> (2 * i)) & 3 {
+            0 => UpdateOrder::InsertFirst,
+            1 => UpdateOrder::DeleteFirst,
+            _ => UpdateOrder::AsGiven,
+        };
+        model.apply_batch(batch, order);
+        model.check_invariants();
+    }
+
+    // Probe packets across the interesting space.
+    let elements: BTreeSet<ElementKey> = live.iter().map(|r| r.element).collect();
+    for &(b, low, tcp) in probes {
+        let pkt = Packet {
+            dst_ip: u32::from_be_bytes([10, b, low, 1]),
+            proto: if tcp { 6 } else { 17 },
+            ..Default::default()
+        };
+        let ec = model.ec_of_packet(&pkt);
+        for &key in &elements {
+            let got = model.action(key, ec).cloned().unwrap_or(match key {
+                ElementKey::Forward(_) => PortAction::Drop,
+                ElementKey::Filter(..) => PortAction::Permit,
+            });
+            let want = naive_action(&live, key, &pkt);
+            assert_eq!(got, want, "mismatch at {:?} for {:?}", key, pkt);
+        }
+    }
+}
+
+/// Property body: inserting the deduplicated `seq` under each of the
+/// three update orders must yield identical observable behaviour.
+pub fn check_order_independent(seq: &[AbstractRule]) {
+    let batch: Vec<RuleUpdate> =
+        seq.iter().map(|a| RuleUpdate::Insert(rule_of(a))).collect::<BTreeSet<_>>()
+            .into_iter().collect();
+    let probe_pkts: Vec<Packet> = (0..6)
+        .map(|i| Packet { dst_ip: u32::from_be_bytes([10, i, 128, 1]), proto: 6, ..Default::default() })
+        .collect();
+    let elements: BTreeSet<ElementKey> = batch.iter().map(|u| u.rule().element).collect();
+
+    let mut results = Vec::new();
+    for order in [UpdateOrder::InsertFirst, UpdateOrder::DeleteFirst, UpdateOrder::AsGiven] {
+        let mut m = ApkModel::new();
+        m.apply_batch(batch.clone(), order);
+        m.check_invariants();
+        let obs: Vec<PortAction> = probe_pkts
+            .iter()
+            .flat_map(|pkt| {
+                let ec = m.ec_of_packet(pkt);
+                elements.iter().map(move |&k| (k, ec)).collect::<Vec<_>>()
+            })
+            .map(|(k, ec)| m.action(k, ec).cloned().unwrap())
+            .collect();
+        results.push(obs);
+    }
+    assert_eq!(&results[0], &results[1]);
+    assert_eq!(&results[0], &results[2]);
+}

@@ -26,6 +26,8 @@ struct ChurnResult {
     max_us: u128,
     first_quarter_mean_us: u128,
     last_quarter_mean_us: u128,
+    /// Pipeline-wide telemetry at the end of the stream.
+    metrics: realconfig::MetricsSnapshot,
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -75,6 +77,7 @@ fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> Chur
         max_us: percentile(&lat, 1.0).as_micros(),
         first_quarter_mean_us: first,
         last_quarter_mean_us: last,
+        metrics: rc.metrics_snapshot(),
     }
 }
 

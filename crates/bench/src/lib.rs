@@ -133,6 +133,9 @@ pub struct Table2Row {
     /// Incremental, averaged: LC (OSPF) or LP (BGP).
     pub lc_lp_us: u128,
     pub samples: usize,
+    /// Engine telemetry at the end of the run (per-operator work,
+    /// queue depths, compaction counters).
+    pub metrics: rc_telemetry::MetricsSnapshot,
 }
 
 impl Table2Row {
@@ -153,6 +156,7 @@ struct EngineHarness {
     reg: Registry,
     configs: BTreeMap<String, DeviceConfig>,
     facts: std::collections::BTreeSet<rc_netcfg::Fact>,
+    telemetry: rc_telemetry::Telemetry,
 }
 
 impl EngineHarness {
@@ -160,12 +164,14 @@ impl EngineHarness {
         let mut reg = Registry::new();
         let lowered = lower(&configs, &mut reg);
         let mut engine = RoutingEngine::new();
+        let telemetry = rc_telemetry::Telemetry::new();
+        engine.set_telemetry(telemetry.clone());
         let t = Instant::now();
         engine
             .apply(lowered.facts.iter().map(|f| (f.clone(), 1)))
             .expect("workload converges");
         let full = t.elapsed();
-        (EngineHarness { engine, reg, configs, facts: lowered.facts }, full)
+        (EngineHarness { engine, reg, configs, facts: lowered.facts, telemetry }, full)
     }
 
     /// Apply a change set; returns the data plane generation time.
@@ -220,6 +226,7 @@ pub fn run_table2(k: u32, proto: ProtocolChoice, samples: usize, seed: u64) -> T
             .map(|(_, d)| d.as_micros())
             .unwrap_or_default(),
         samples: ports.len(),
+        metrics: harness.telemetry.snapshot(),
     }
 }
 
@@ -246,6 +253,9 @@ pub struct Table3Row {
     /// same state, µs (what T2 would cost without incrementality).
     pub t2_full_us: u128,
     pub samples: usize,
+    /// Pipeline-wide telemetry at the end of this row's run (all three
+    /// stages, cumulative over the sampled changes).
+    pub metrics: rc_telemetry::MetricsSnapshot,
 }
 
 /// Regenerate Table 3: model update + policy checking on the BGP fat
@@ -277,6 +287,7 @@ pub fn run_table3(k: u32, samples: usize, seed: u64) -> Vec<Table3Row> {
                 t2_us: 0,
                 t2_full_us: 0,
                 samples: ports.len(),
+                metrics: Default::default(),
             };
             for port in &ports {
                 let (apply, restore) = w.change_at(change, port);
@@ -305,6 +316,7 @@ pub fn run_table3(k: u32, samples: usize, seed: u64) -> Vec<Table3Row> {
             acc.t1_us /= n as u128;
             acc.affected_pairs /= n;
             acc.t2_us /= n as u128;
+            acc.metrics = rc.metrics_snapshot();
             rows.push(acc);
         }
     }

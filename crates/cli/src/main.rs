@@ -2,8 +2,8 @@
 //! verifier.
 //!
 //! ```text
-//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]...
-//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json]
+//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--metrics FILE]
+//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--metrics FILE]
 //! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]
 //! ```
 //!
@@ -12,7 +12,9 @@
 //! from the old directory's configurations to the new directory's
 //! incrementally, reporting per-stage timings, affected counts, and
 //! policy verdict changes; `trace` follows one packet through the
-//! current data plane.
+//! current data plane. `--metrics FILE` dumps the pipeline-wide
+//! telemetry snapshot (per-operator dataflow work, EC model state,
+//! policy checker latencies) as JSON after the run.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -75,9 +77,12 @@ fn load_dir(dir: &str) -> Result<BTreeMap<String, DeviceConfig>, AnyError> {
     Ok(configs)
 }
 
+/// A parsed `--policy` flag: (label, src, dst, prefix, is_reach).
+type PolicySpec = (String, String, String, Prefix, bool);
+
 /// Parse repeated `--policy reach:SRC:DST:PREFIX` /
 /// `--policy isolate:SRC:DST:PREFIX` flags.
-fn parse_policies(args: &[String]) -> Result<Vec<(String, String, String, Prefix, bool)>, AnyError> {
+fn parse_policies(args: &[String]) -> Result<Vec<PolicySpec>, AnyError> {
     let mut policies = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -108,7 +113,7 @@ fn parse_policies(args: &[String]) -> Result<Vec<(String, String, String, Prefix
 
 fn register_policies(
     rc: &mut RealConfig,
-    specs: &[(String, String, String, Prefix, bool)],
+    specs: &[PolicySpec],
 ) -> Result<Vec<(String, realconfig::PolicyId)>, AnyError> {
     let mut out = Vec::new();
     for (kind, src, dst, prefix, is_reach) in specs {
@@ -124,6 +129,24 @@ fn register_policies(
     }
     rc.recheck_policies();
     Ok(out)
+}
+
+/// Parse an optional `--metrics <path>` flag.
+fn parse_metrics_path(args: &[String]) -> Result<Option<String>, AnyError> {
+    match args.iter().position(|a| a == "--metrics") {
+        Some(i) => {
+            let path = args.get(i + 1).ok_or("--metrics needs a file path")?;
+            Ok(Some(path.clone()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Write the verifier's telemetry snapshot as pretty JSON.
+fn dump_metrics(rc: &RealConfig, path: &str) -> Result<(), AnyError> {
+    let json = serde_json::to_string_pretty(&rc.metrics_snapshot())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    Ok(())
 }
 
 fn cmd_verify(args: &[String]) -> Result<bool, AnyError> {
@@ -145,6 +168,10 @@ fn cmd_verify(args: &[String]) -> Result<bool, AnyError> {
         let ok = rc.is_satisfied(*id);
         violated |= !ok;
         println!("  policy {name}: {}", if ok { "SATISFIED" } else { "VIOLATED" });
+    }
+    if let Some(path) = parse_metrics_path(args)? {
+        dump_metrics(&rc, &path)?;
+        println!("  metrics written to {path}");
     }
     Ok(violated)
 }
@@ -198,6 +225,12 @@ fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
             ""
         };
         println!("policy {name}: {}{newly}", if ok { "SATISFIED" } else { "VIOLATED" });
+    }
+    if let Some(path) = parse_metrics_path(args)? {
+        dump_metrics(&rc, &path)?;
+        if !json {
+            println!("metrics written to {path}");
+        }
     }
     Ok(violated)
 }

@@ -63,6 +63,7 @@ pub use rc_bdd::pkt::Packet;
 
 // Re-export the pieces a downstream user needs to drive the verifier.
 pub use rc_apkeep::UpdateOrder;
+pub use rc_telemetry::{MetricsSnapshot, Telemetry};
 pub use rc_netcfg::change::{AclDir, ChangeOp, ChangeSet, RedistTarget};
 pub use rc_netcfg::types::{IfaceId, Ip, NodeId, Port, Prefix, Proto};
 pub use rc_policy::{PacketClass, Policy, PolicyId};

@@ -30,6 +30,9 @@ pub struct FullReport {
     pub violated: Vec<u32>,
     /// Lowering warnings, formatted.
     pub warnings: Vec<String>,
+    /// Pipeline-wide telemetry at the end of the full verification
+    /// (cumulative counters, current gauges, latency histograms).
+    pub metrics: rc_telemetry::MetricsSnapshot,
 }
 
 /// Report of one incremental change verification — the paper's
@@ -76,6 +79,9 @@ pub struct ChangeReport {
 
     /// New lowering warnings introduced by this change.
     pub warnings: Vec<String>,
+    /// Pipeline-wide telemetry at the end of this change. Counters are
+    /// cumulative since the verifier was built, gauges are current.
+    pub metrics: rc_telemetry::MetricsSnapshot,
 }
 
 impl ChangeReport {

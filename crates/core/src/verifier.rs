@@ -79,6 +79,8 @@ pub struct RealConfig {
     /// Compact engine history every this many changes (None: never).
     auto_compact: Option<u32>,
     changes_since_compact: u32,
+    /// Shared metric registry for all three pipeline stages.
+    telemetry: rc_telemetry::Telemetry,
 }
 
 impl RealConfig {
@@ -106,7 +108,11 @@ impl RealConfig {
             update_order,
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
+            telemetry: rc_telemetry::Telemetry::new(),
         };
+        rc.engine.set_telemetry(rc.telemetry.clone());
+        rc.model.set_telemetry(&rc.telemetry);
+        rc.checker.set_telemetry(&rc.telemetry);
         let mut report = FullReport::default();
 
         let lowered = lower(&configs, &mut rc.registry);
@@ -140,6 +146,7 @@ impl RealConfig {
         report.policy_check = t.elapsed();
         report.pairs = check.total_pairs;
         report.violated = check.newly_violated.iter().map(|p| p.0).collect();
+        report.metrics = rc.telemetry.snapshot();
 
         Ok((rc, report))
     }
@@ -276,6 +283,7 @@ impl RealConfig {
             }
         }
 
+        report.metrics = self.telemetry.snapshot();
         Ok(report)
     }
 
@@ -362,6 +370,18 @@ impl RealConfig {
     /// Interface name for an interned id.
     pub fn iface_name(&self, id: rc_netcfg::types::IfaceId) -> &str {
         self.registry.iface_name(id)
+    }
+
+    /// The verifier's shared metric registry. Counters are cumulative
+    /// since construction; gauges track current state.
+    pub fn telemetry(&self) -> &rc_telemetry::Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot every registered metric across all three pipeline
+    /// stages.
+    pub fn metrics_snapshot(&self) -> rc_telemetry::MetricsSnapshot {
+        self.telemetry.snapshot()
     }
 
     pub(crate) fn model(&self) -> &ApkModel {

@@ -6,7 +6,10 @@
 //! every producer runs before its consumers.
 
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+use rc_telemetry::Telemetry;
 
 use crate::delta::{Data, Delta};
 use crate::error::EvalError;
@@ -108,8 +111,33 @@ pub(crate) trait OpNode {
         None
     }
 
+    /// Accumulate this operator's statistics into `acc`, keyed by
+    /// operator name. The default reports cumulative work only;
+    /// stateful operators add queue depth, trace size and pending
+    /// internal work, and containers (the iterate scope) recurse into
+    /// their children instead of reporting an aggregate.
+    fn collect_stats(&self, acc: &mut BTreeMap<&'static str, OpStats>) {
+        acc.entry(self.name()).or_default().work += self.work();
+    }
+
     /// Operator name for diagnostics.
     fn name(&self) -> &'static str;
+}
+
+/// Per-operator-name statistics aggregated over the whole graph
+/// (including operators inside `iterate` scopes). See
+/// [`Dataflow::op_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Cumulative records processed.
+    pub work: u64,
+    /// Records currently sitting in input queues.
+    pub queued: usize,
+    /// Difference records held in keyed traces.
+    pub trace_records: usize,
+    /// Internal pending work: a reduce's unprocessed interesting
+    /// times, a join's deferred future-time outputs.
+    pub pending: usize,
 }
 
 /// Shared, build-time mutable graph state. Collections hold a weak
@@ -164,6 +192,53 @@ pub struct Dataflow {
     state: Rc<RefCell<GraphState>>,
     epoch: u64,
     work_baseline: u64,
+    telemetry: Option<EngineTelemetry>,
+}
+
+/// Telemetry handles plus the per-operator work baselines needed to
+/// turn cumulative `work()` readings into per-epoch deltas.
+struct EngineTelemetry {
+    registry: Telemetry,
+    queue_depth: rc_telemetry::Histogram,
+    pending_times: rc_telemetry::Gauge,
+    trace_records: rc_telemetry::Gauge,
+    compact_before: rc_telemetry::Counter,
+    compact_after: rc_telemetry::Counter,
+    epochs: rc_telemetry::Counter,
+    records: rc_telemetry::Counter,
+    work_by_op: BTreeMap<&'static str, u64>,
+}
+
+impl EngineTelemetry {
+    fn new(registry: Telemetry) -> Self {
+        EngineTelemetry {
+            queue_depth: registry.histogram("dataflow.queue_depth"),
+            pending_times: registry.gauge("dataflow.reduce.pending_times"),
+            trace_records: registry.gauge("dataflow.trace_records"),
+            compact_before: registry.counter("dataflow.compact.records_before"),
+            compact_after: registry.counter("dataflow.compact.records_after"),
+            epochs: registry.counter("dataflow.epochs"),
+            records: registry.counter("dataflow.records"),
+            work_by_op: BTreeMap::new(),
+            registry,
+        }
+    }
+
+    /// Record one completed epoch from the aggregated operator stats.
+    fn record_epoch(&mut self, stats: &BTreeMap<&'static str, OpStats>, records: u64) {
+        self.epochs.incr();
+        self.records.add(records);
+        for (name, s) in stats {
+            let baseline = self.work_by_op.entry(name).or_insert(0);
+            if s.work > *baseline {
+                self.registry.counter(&format!("dataflow.work.{name}")).add(s.work - *baseline);
+            }
+            *baseline = s.work;
+        }
+        self.pending_times
+            .set(stats.get("reduce").map(|s| s.pending).unwrap_or(0) as i64);
+        self.trace_records.set(stats.values().map(|s| s.trace_records).sum::<usize>() as i64);
+    }
 }
 
 impl Default for Dataflow {
@@ -175,7 +250,30 @@ impl Default for Dataflow {
 impl Dataflow {
     /// Create an empty dataflow.
     pub fn new() -> Self {
-        Dataflow { state: Rc::new(RefCell::new(GraphState::new())), epoch: 0, work_baseline: 0 }
+        Dataflow {
+            state: Rc::new(RefCell::new(GraphState::new())),
+            epoch: 0,
+            work_baseline: 0,
+            telemetry: None,
+        }
+    }
+
+    /// Attach a telemetry registry. Every subsequent [`Dataflow::advance`]
+    /// records per-operator work (`dataflow.work.<op>`), queue depths,
+    /// reduce pending-times sizes and trace sizes; [`Dataflow::compact`]
+    /// records trace record counts before and after compaction.
+    pub fn set_telemetry(&mut self, registry: Telemetry) {
+        self.telemetry = Some(EngineTelemetry::new(registry));
+    }
+
+    /// Per-operator-name statistics aggregated over the whole graph,
+    /// including operators inside `iterate` scopes.
+    pub fn op_stats(&self) -> BTreeMap<&'static str, OpStats> {
+        let mut acc = BTreeMap::new();
+        for node in self.state.borrow().stacks[0].iter() {
+            node.collect_stats(&mut acc);
+        }
+        acc
     }
 
     pub(crate) fn state(&self) -> &Rc<RefCell<GraphState>> {
@@ -196,6 +294,13 @@ impl Dataflow {
         let mut st = self.state.borrow_mut();
         assert!(!st.in_scope(), "advance called while an iterate scope is still being built");
         let nodes = &mut st.stacks[0];
+        if let Some(tel) = &self.telemetry {
+            let mut stats = BTreeMap::new();
+            for node in nodes.iter() {
+                node.collect_stats(&mut stats);
+            }
+            tel.queue_depth.record(stats.values().map(|s| s.queued).sum::<usize>() as u64);
+        }
         for node in nodes.iter_mut() {
             node.step(now)?;
         }
@@ -205,6 +310,13 @@ impl Dataflow {
         let total: u64 = nodes.iter().map(|n| n.work()).sum();
         let records = total - self.work_baseline;
         self.work_baseline = total;
+        if let Some(tel) = &mut self.telemetry {
+            let mut stats = BTreeMap::new();
+            for node in nodes.iter() {
+                node.collect_stats(&mut stats);
+            }
+            tel.record_epoch(&stats, records);
+        }
         Ok(EpochStats { epoch: self.epoch, records })
     }
 
@@ -219,8 +331,22 @@ impl Dataflow {
     pub fn compact(&mut self) {
         let mut st = self.state.borrow_mut();
         let frontier = self.epoch;
+        let trace_records = |nodes: &[Box<dyn OpNode>]| {
+            let mut stats = BTreeMap::new();
+            for node in nodes {
+                node.collect_stats(&mut stats);
+            }
+            stats.values().map(|s| s.trace_records).sum::<usize>() as u64
+        };
+        let before = self.telemetry.as_ref().map(|_| trace_records(&st.stacks[0]));
         for node in st.stacks[0].iter_mut() {
             node.compact(frontier);
+        }
+        if let Some(tel) = &self.telemetry {
+            tel.compact_before.add(before.unwrap_or(0));
+            let after = trace_records(&st.stacks[0]);
+            tel.compact_after.add(after);
+            tel.trace_records.set(after as i64);
         }
     }
 }

@@ -110,6 +110,14 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
         self.work
     }
 
+    fn collect_stats(&self, acc: &mut std::collections::BTreeMap<&'static str, crate::graph::OpStats>) {
+        let e = acc.entry(self.name()).or_default();
+        e.work += self.work;
+        e.queued += self.in_a.borrow().len() + self.in_b.borrow().len();
+        e.trace_records += self.trace_a.len() + self.trace_b.len();
+        e.pending += self.deferred.len();
+    }
+
     fn name(&self) -> &'static str {
         "join"
     }

@@ -154,6 +154,14 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
         self.work
     }
 
+    fn collect_stats(&self, acc: &mut std::collections::BTreeMap<&'static str, crate::graph::OpStats>) {
+        let e = acc.entry(self.name()).or_default();
+        e.work += self.work;
+        e.queued += self.input.borrow().len();
+        e.trace_records += self.in_trace.len() + self.out_trace.len();
+        e.pending += self.pending.len();
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }

@@ -145,6 +145,13 @@ impl OpNode for ScopeNode {
         self.children.iter().map(|c| c.work()).sum()
     }
 
+    fn collect_stats(&self, acc: &mut std::collections::BTreeMap<&'static str, crate::graph::OpStats>) {
+        // Report the children individually, not an "iterate" aggregate.
+        for child in &self.children {
+            child.collect_stats(acc);
+        }
+    }
+
     fn name(&self) -> &'static str {
         "iterate"
     }

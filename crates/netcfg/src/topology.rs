@@ -99,7 +99,7 @@ pub fn host_prefix(i: u32) -> Prefix {
 /// originates one host /24. `fat_tree(12)` is the paper's evaluation
 /// topology: 180 devices, 864 links.
 pub fn fat_tree(k: u32) -> Topology {
-    assert!(k >= 2 && k % 2 == 0, "fat tree arity must be even, got {k}");
+    assert!(k >= 2 && k.is_multiple_of(2), "fat tree arity must be even, got {k}");
     let half = k / 2;
     let mut topo = Topology::default();
     let mut alloc = IfaceAlloc::new();

@@ -92,6 +92,9 @@ impl Prefix {
         Ip(self.addr)
     }
 
+    /// Prefix length in bits (a length of 0 is the default route, not
+    /// an "empty" prefix — hence no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }

@@ -92,6 +92,30 @@ pub struct PolicyChecker {
     /// Reverse index: which ECs' forwarding uses a port.
     port_users: HashMap<Port, BTreeSet<EcId>>,
     policies: Vec<Registered>,
+    telemetry: Option<CheckerTelemetry>,
+}
+
+/// Cached metric handles (name lookups happen once, at attach time).
+struct CheckerTelemetry {
+    affected_ecs: rc_telemetry::Counter,
+    policies_checked: rc_telemetry::Counter,
+    policies_registered: rc_telemetry::Gauge,
+    pairs: rc_telemetry::Gauge,
+    check_incremental_us: rc_telemetry::Histogram,
+    check_full_us: rc_telemetry::Histogram,
+}
+
+impl CheckerTelemetry {
+    fn new(registry: &rc_telemetry::Telemetry) -> Self {
+        CheckerTelemetry {
+            affected_ecs: registry.counter("policy.affected_ecs"),
+            policies_checked: registry.counter("policy.policies_checked"),
+            policies_registered: registry.gauge("policy.policies_registered"),
+            pairs: registry.gauge("policy.pairs"),
+            check_incremental_us: registry.histogram("policy.check_incremental_us"),
+            check_full_us: registry.histogram("policy.check_full_us"),
+        }
+    }
 }
 
 impl Default for PolicyChecker {
@@ -109,7 +133,17 @@ impl PolicyChecker {
             pair_ecs: BTreeMap::new(),
             port_users: HashMap::new(),
             policies: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attach a telemetry registry. Every checking pass records the ECs
+    /// re-analyzed (`policy.affected_ecs`), policies re-evaluated vs
+    /// registered (`policy.policies_checked` vs the
+    /// `policy.policies_registered` gauge), and its latency — full and
+    /// incremental passes into separate histograms.
+    pub fn set_telemetry(&mut self, registry: &rc_telemetry::Telemetry) {
+        self.telemetry = Some(CheckerTelemetry::new(registry));
     }
 
     /// Add or remove devices.
@@ -239,6 +273,7 @@ impl PolicyChecker {
     }
 
     fn recheck(&mut self, model: &mut ApkModel, affected: BTreeSet<EcId>, full: bool) -> CheckReport {
+        let start = std::time::Instant::now();
         let mut report = CheckReport { affected_ecs: affected.len(), ..Default::default() };
         let mut changed_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut touched_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
@@ -331,6 +366,18 @@ impl PolicyChecker {
                 _ => {}
             }
         }
+        if let Some(tel) = &self.telemetry {
+            tel.affected_ecs.add(report.affected_ecs as u64);
+            tel.policies_checked.add(report.policies_checked as u64);
+            tel.policies_registered.set(self.policies.len() as i64);
+            tel.pairs.set(self.pair_ecs.len() as i64);
+            let us = start.elapsed().as_micros() as u64;
+            if full {
+                tel.check_full_us.record(us);
+            } else {
+                tel.check_incremental_us.record(us);
+            }
+        }
         report
     }
 
@@ -366,12 +413,12 @@ impl PolicyChecker {
                 !a.delivered.get(&src).is_some_and(|d| d.contains(&dst))
             }),
             Policy::LoopFree { .. } => ecs.iter().all(|&ec| {
-                self.ec_state.get(&ec).map_or(true, |s| s.looping.is_empty())
+                self.ec_state.get(&ec).is_none_or(|s| s.looping.is_empty())
             }),
             Policy::BlackholeFree { src, .. } => ecs.iter().all(|&ec| {
                 self.ec_state
                     .get(&ec)
-                    .map_or(true, |s| !s.dropped.contains_key(&src))
+                    .is_none_or(|s| !s.dropped.contains_key(&src))
             }),
         }
     }

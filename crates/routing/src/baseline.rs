@@ -306,7 +306,7 @@ pub fn compute(facts: &BTreeSet<Fact>) -> Result<DataPlane, BaselineDivergence> 
          p: Prefix| {
             pols.get(&key)
                 .and_then(|entries| {
-                    entries.iter().find(|(_, _, m, _)| m.map_or(true, |mp| mp.contains(p)))
+                    entries.iter().find(|(_, _, m, _)| m.is_none_or(|mp| mp.contains(p)))
                 })
                 .map(|&(_, permit, _, med)| (permit, med))
                 .unwrap_or((false, None))
@@ -315,7 +315,7 @@ pub fn compute(facts: &BTreeSet<Fact>) -> Result<DataPlane, BaselineDivergence> 
         import_pol
             .get(&key)
             .and_then(|entries| {
-                entries.iter().find(|(_, _, m, _, _)| m.map_or(true, |mp| mp.contains(p)))
+                entries.iter().find(|(_, _, m, _, _)| m.is_none_or(|mp| mp.contains(p)))
             })
             .map(|&(_, permit, _, lp, med)| (permit, lp, med))
             .unwrap_or((false, None, None))

@@ -236,24 +236,24 @@ impl RoutingEngine {
                 .map(|((n, i, j, m, p), r)| ((m, j), (n, i, p, r)))
                 .join(&export_pol)
                 .filter(|(_, ((_n, _i, p, _r), (_seq, _permit, mtch, _med)))| {
-                    mtch.map_or(true, |mp| mp.contains(*p))
+                    mtch.is_none_or(|mp| mp.contains(*p))
                 })
                 .map(|((m, _j), ((n, i, p, r), (seq, permit, _mtch, med)))| {
                     (((n, i, m, p), r), (seq, permit, med))
                 })
-                .reduce_named("export-first-match", |_, vals| vec![(vals[0].0.clone(), 1)])
+                .reduce_named("export-first-match", |_, vals| vec![(vals[0].0, 1)])
                 .filter(|(_, (_seq, permit, _med))| *permit)
                 .map(|(((n, i, m, p), r), (_seq, _permit, med))| ((n, i), (m, p, r, med)));
             // Import policy at the receiver's interface.
             let imported = exported
                 .join(&import_pol)
                 .filter(|(_, ((_m, p, _r, _emed), (_seq, _permit, mtch, _lp, _imed)))| {
-                    mtch.map_or(true, |mp| mp.contains(*p))
+                    mtch.is_none_or(|mp| mp.contains(*p))
                 })
                 .map(|((n, i), ((m, p, r, emed), (seq, permit, _mtch, lp, imed)))| {
                     (((n, i, m, p), r), (seq, permit, lp, emed, imed))
                 })
-                .reduce_named("import-first-match", |_, vals| vec![(vals[0].0.clone(), 1)])
+                .reduce_named("import-first-match", |_, vals| vec![(vals[0].0, 1)])
                 .filter(|(_, (_seq, permit, _lp, _emed, _imed))| *permit)
                 .map(|(((n, i, m, p), r), (_seq, _permit, lp, emed, imed))| {
                     // The import policy's MED, if set, overrides the
@@ -447,6 +447,17 @@ impl RoutingEngine {
     /// Total dataflow records processed so far (work measure).
     pub fn total_work(&self) -> u64 {
         self.df.total_work()
+    }
+
+    /// Attach a telemetry registry to the underlying dataflow (see
+    /// [`Dataflow::set_telemetry`]).
+    pub fn set_telemetry(&mut self, registry: rc_telemetry::Telemetry) {
+        self.df.set_telemetry(registry);
+    }
+
+    /// Per-operator statistics of the underlying dataflow.
+    pub fn op_stats(&self) -> std::collections::BTreeMap<&'static str, rc_dataflow::OpStats> {
+        self.df.op_stats()
     }
 
     /// Fold operator history below the current epoch (bounds memory

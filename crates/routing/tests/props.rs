@@ -72,17 +72,13 @@ fn concretize(cmd: &Cmd, configs: &BTreeMap<String, DeviceConfig>) -> Option<Cha
         }
         Cmd::SetCost { dev, iface, cost } => {
             let d = pick_dev(*dev);
-            if configs[&d].ospf.is_none() {
-                return None;
-            }
+            configs[&d].ospf.as_ref()?;
             let i = pick_iface(&configs[&d], *iface)?;
             cs.push(ChangeOp::SetOspfCost { device: d, iface: i, cost: *cost });
         }
         Cmd::SetLocalPref { dev, iface, pref } => {
             let d = pick_dev(*dev);
-            if configs[&d].bgp.is_none() {
-                return None;
-            }
+            configs[&d].bgp.as_ref()?;
             let i = pick_iface(&configs[&d], *iface)?;
             // The interface may be shut (no session): still legal as a
             // config change.

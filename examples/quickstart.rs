@@ -114,6 +114,20 @@ fn main() {
         .expect("device exists");
     print!("{trace}");
 
+    // Every stage reports into a shared telemetry registry; a snapshot
+    // of it rides along in every report (and `--metrics` in the CLI).
+    println!("\n=== Telemetry (cumulative since construction) ===");
+    let m = rc.metrics_snapshot();
+    let ops = m.counters.keys().filter(|k| k.starts_with("dataflow.work.")).count();
+    println!("  dataflow : {} records over {} epochs, across {} operator kinds",
+        m.counters["dataflow.records"], m.counters["dataflow.epochs"], ops);
+    println!("  apkeep   : {} ECs, {} rules ({} rules applied, {} EC moves)",
+        m.gauges["apkeep.ecs"], m.gauges["apkeep.rules"],
+        m.counters["apkeep.rules_applied"], m.counters["apkeep.ec_moves"]);
+    let inc = &m.histograms["policy.check_incremental_us"];
+    println!("  policy   : {} ECs rechecked over {} incremental checks (p99 {}µs)",
+        m.counters["policy.affected_ecs"], inc.count, inc.p99);
+
     println!("\nAll intent restored. Done.");
 }
 

@@ -1,0 +1,115 @@
+//! Shared harness for the whole-verifier soundness tests: the abstract
+//! change-command language, its lowering to `ChangeSet`s against a live
+//! verifier, and the incremental-vs-fresh oracle loop. Used by
+//! `incremental_soundness.rs` (random command sequences) and
+//! `regression_counterexamples.rs` (pinned inputs from
+//! `incremental_soundness.proptest-regressions`).
+#![allow(dead_code)]
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::host_prefix;
+use realconfig::{ChangeOp, ChangeSet, RealConfig};
+
+#[derive(Clone, Debug)]
+pub enum Cmd {
+    ToggleIface { dev: usize, iface: usize },
+    SetCost { dev: usize, iface: usize, cost: u32 },
+    SetLp { dev: usize, iface: usize, pref: u32 },
+    StaticDrop { dev: usize, pfx: u32 },
+    UnStatic { dev: usize, pfx: u32 },
+}
+
+pub fn to_changeset(cmd: &Cmd, rc: &RealConfig) -> Option<ChangeSet> {
+    let devices: Vec<String> = rc.configs().keys().cloned().collect();
+    let dev = |i: usize| devices[i % devices.len()].clone();
+    let iface = |d: &str, i: usize| -> Option<String> {
+        let cfg = &rc.configs()[d];
+        let eths: Vec<_> = cfg.interfaces.iter().filter(|f| f.name.starts_with("eth")).collect();
+        if eths.is_empty() {
+            None
+        } else {
+            Some(eths[i % eths.len()].name.clone())
+        }
+    };
+    let mut cs = ChangeSet::new();
+    match cmd {
+        Cmd::ToggleIface { dev: d, iface: i } => {
+            let d = dev(*d);
+            let i = iface(&d, *i)?;
+            if rc.configs()[&d].interface(&i).unwrap().shutdown {
+                cs.push(ChangeOp::EnableInterface { device: d, iface: i });
+            } else {
+                cs.push(ChangeOp::DisableInterface { device: d, iface: i });
+            }
+        }
+        Cmd::SetCost { dev: d, iface: i, cost } => {
+            let d = dev(*d);
+            rc.configs()[&d].ospf.as_ref()?;
+            let i = iface(&d, *i)?;
+            cs.push(ChangeOp::SetOspfCost { device: d, iface: i, cost: *cost });
+        }
+        Cmd::SetLp { dev: d, iface: i, pref } => {
+            let d = dev(*d);
+            rc.configs()[&d].bgp.as_ref()?;
+            let i = iface(&d, *i)?;
+            cs.push(ChangeOp::SetLocalPref { device: d, iface: i, pref: *pref });
+        }
+        Cmd::StaticDrop { dev: d, pfx } => {
+            let d = dev(*d);
+            if rc.configs()[&d].static_routes.iter().any(|r| r.prefix == host_prefix(*pfx)) {
+                return None;
+            }
+            cs.push(ChangeOp::AddStaticRoute {
+                device: d,
+                prefix: host_prefix(*pfx),
+                next_hop: rc_netcfg::ast::NextHop::Drop,
+            });
+        }
+        Cmd::UnStatic { dev: d, pfx } => {
+            let d = dev(*d);
+            if !rc.configs()[&d].static_routes.iter().any(|r| r.prefix == host_prefix(*pfx)) {
+                return None;
+            }
+            cs.push(ChangeOp::RemoveStaticRoute { device: d, prefix: host_prefix(*pfx) });
+        }
+    }
+    Some(cs)
+}
+
+pub fn run(proto: ProtocolChoice, topo: rc_netcfg::topology::Topology, cmds: Vec<Cmd>) {
+    let configs = build_configs(&topo, proto);
+    let Ok((mut rc, _)) = RealConfig::new(configs) else { return };
+
+    // A few standing policies so verdict tracking is exercised.
+    let mut policies = Vec::new();
+    let names: Vec<String> = rc.configs().keys().cloned().collect();
+    for (i, s) in names.iter().take(3).enumerate() {
+        let d = &names[names.len() - 1 - i];
+        if let Some(id) = rc.require_reachability(s, d, host_prefix((names.len() - 1 - i) as u32))
+        {
+            policies.push((s.clone(), d.clone(), names.len() - 1 - i, id));
+        }
+    }
+    rc.recheck_policies();
+
+    for cmd in &cmds {
+        let Some(cs) = to_changeset(cmd, &rc) else { continue };
+        if rc.apply_change(&cs).is_err() {
+            return; // divergence: covered elsewhere
+        }
+
+        // Oracle: fresh verifier from the same configurations.
+        let (mut fresh, _) = RealConfig::new(rc.configs().clone()).expect("fresh build");
+        assert_eq!(rc.fib(), fresh.fib(), "FIB mismatch after {cmd:?}");
+        assert_eq!(rc.num_pairs(), fresh.num_pairs(), "pair count mismatch after {cmd:?}");
+        for (s, d, pi, id) in &policies {
+            let fid = fresh.require_reachability(s, d, host_prefix(*pi as u32)).unwrap();
+            fresh.recheck_policies();
+            assert_eq!(
+                rc.is_satisfied(*id),
+                fresh.is_satisfied(fid),
+                "policy {s}→{d} verdict mismatch after {cmd:?}"
+            );
+        }
+    }
+}

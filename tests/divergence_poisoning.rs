@@ -1,0 +1,98 @@
+//! Contract tests for [`realconfig::Error::Divergence`].
+//!
+//! The docs promise: when a change makes the control plane diverge, the
+//! verifier's internal state is poisoned, but the *configurations* stay
+//! at the last good set — so the caller can rebuild a fresh verifier
+//! from `rc.configs()` and carry on. These tests pin that contract.
+
+use std::collections::BTreeMap;
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::ring;
+use rc_netcfg::DeviceConfig;
+use realconfig::{ChangeSet, Error, RealConfig};
+
+/// A 3-ring of BGP routers. Stable as generated; raising the local
+/// preference on every router's counterclockwise side builds the
+/// classic "bad gadget" whose best-path choices chase each other
+/// forever.
+fn stable_ring() -> BTreeMap<String, DeviceConfig> {
+    build_configs(&ring(3), ProtocolChoice::Bgp)
+}
+
+/// The change that completes the preference cycle, given that the
+/// other two routers already prefer their counterclockwise neighbor.
+fn cycle_changes() -> Vec<ChangeSet> {
+    (0..3).map(|n| ChangeSet::local_pref(&format!("r{n:03}"), "eth1", 200)).collect()
+}
+
+/// Drive a verifier into divergence; returns it with its last good
+/// configuration set. Panics if the gadget unexpectedly converges.
+fn diverge(rc: &mut RealConfig) {
+    let changes = cycle_changes();
+    // The first two preference bumps leave the ring convergent…
+    rc.apply_change(&changes[0]).expect("one raised pref still converges");
+    rc.apply_change(&changes[1]).expect("two raised prefs still converge");
+    // …the third completes the cycle.
+    match rc.apply_change(&changes[2]) {
+        Err(Error::Divergence(_)) => {}
+        Ok(_) => panic!("the bad gadget converged — the test gadget is broken"),
+        Err(e) => panic!("expected Divergence, got: {e}"),
+    }
+}
+
+#[test]
+fn divergence_reports_an_error_not_a_hang() {
+    let (mut rc, _) = RealConfig::new(stable_ring()).expect("stable ring verifies");
+    diverge(&mut rc);
+}
+
+#[test]
+fn configs_stay_at_the_last_good_set_after_divergence() {
+    let (mut rc, _) = RealConfig::new(stable_ring()).expect("stable ring verifies");
+    diverge(&mut rc);
+    // The diverging change must NOT have been committed: the verifier
+    // still reports the configurations from before the failed change.
+    let mut expected = stable_ring();
+    let changes = cycle_changes();
+    changes[0].apply(&mut expected).unwrap();
+    changes[1].apply(&mut expected).unwrap();
+    assert_eq!(rc.configs(), &expected, "diverging change leaked into configs()");
+}
+
+#[test]
+fn rebuilding_from_last_good_configs_recovers() {
+    let (mut rc, _) = RealConfig::new(stable_ring()).expect("stable ring verifies");
+    diverge(&mut rc);
+
+    // The documented recovery path: rebuild from the last good
+    // configurations. It must succeed and match a from-scratch build
+    // of the same configurations exactly.
+    let (rebuilt, report) =
+        RealConfig::new(rc.configs().clone()).expect("last good configs verify");
+    let (fresh, _) = RealConfig::new(rc.configs().clone()).expect("verifies");
+    assert!(report.fib_entries > 0);
+    assert_eq!(rebuilt.fib(), fresh.fib());
+    assert_eq!(rebuilt.num_pairs(), fresh.num_pairs());
+
+    // And the rebuilt verifier is fully operational: a benign change
+    // (undoing one preference bump) verifies incrementally.
+    let mut rebuilt = rebuilt;
+    let report = rebuilt
+        .apply_change(&ChangeSet::local_pref("r000", "eth1", 100))
+        .expect("repair verifies");
+    assert!(report.fact_changes > 0);
+}
+
+#[test]
+fn divergence_on_initial_build_is_an_error() {
+    let mut configs = stable_ring();
+    for cs in cycle_changes() {
+        cs.apply(&mut configs).unwrap();
+    }
+    match RealConfig::new(configs) {
+        Err(Error::Divergence(_)) => {}
+        Ok(_) => panic!("the bad gadget converged — the test gadget is broken"),
+        Err(e) => panic!("expected Divergence, got: {e}"),
+    }
+}

@@ -1,0 +1,78 @@
+//! Pinned counterexamples from
+//! `incremental_soundness.proptest-regressions`.
+//!
+//! The `cc <seed>` lines only replay under the upstream proptest RNG;
+//! the "shrinks to" comments give the exact shrunk inputs. Both
+//! historical failures were a single `ToggleIface` whose incremental
+//! application diverged from a from-scratch rebuild (stale dataflow
+//! facts after an interface flap). Each is replayed here across every
+//! protocol/topology combination the random suite covers, through the
+//! same oracle loop.
+
+mod common;
+
+use common::{run, Cmd};
+use rc_netcfg::gen::ProtocolChoice;
+use rc_netcfg::topology::{grid, ring};
+
+/// `cc b17e6506…`: dev index 5 — wraps to device 0 on a 5-ring, hits
+/// device 5 on the 3x3 grid.
+fn toggle_dev5() -> Vec<Cmd> {
+    vec![Cmd::ToggleIface { dev: 5, iface: 0 }]
+}
+
+/// `cc ef1dc278…`: dev index 9 — wraps to device 4 on a 5-ring, wraps
+/// to device 0 on the 3x3 grid.
+fn toggle_dev9() -> Vec<Cmd> {
+    vec![Cmd::ToggleIface { dev: 9, iface: 0 }]
+}
+
+#[test]
+fn toggle_iface_dev5_ospf_ring() {
+    run(ProtocolChoice::Ospf, ring(5), toggle_dev5());
+}
+
+#[test]
+fn toggle_iface_dev5_bgp_ring() {
+    run(ProtocolChoice::Bgp, ring(5), toggle_dev5());
+}
+
+#[test]
+fn toggle_iface_dev5_ospf_grid() {
+    run(ProtocolChoice::Ospf, grid(3, 3), toggle_dev5());
+}
+
+#[test]
+fn toggle_iface_dev5_bgp_grid() {
+    run(ProtocolChoice::Bgp, grid(3, 3), toggle_dev5());
+}
+
+#[test]
+fn toggle_iface_dev5_rip_ring() {
+    run(ProtocolChoice::Rip, ring(5), toggle_dev5());
+}
+
+#[test]
+fn toggle_iface_dev9_ospf_ring() {
+    run(ProtocolChoice::Ospf, ring(5), toggle_dev9());
+}
+
+#[test]
+fn toggle_iface_dev9_bgp_ring() {
+    run(ProtocolChoice::Bgp, ring(5), toggle_dev9());
+}
+
+#[test]
+fn toggle_iface_dev9_ospf_grid() {
+    run(ProtocolChoice::Ospf, grid(3, 3), toggle_dev9());
+}
+
+#[test]
+fn toggle_iface_dev9_bgp_grid() {
+    run(ProtocolChoice::Bgp, grid(3, 3), toggle_dev9());
+}
+
+#[test]
+fn toggle_iface_dev9_rip_ring() {
+    run(ProtocolChoice::Rip, ring(5), toggle_dev9());
+}

@@ -1,0 +1,76 @@
+//! End-to-end checks of the telemetry layer: every pipeline stage must
+//! contribute at least one metric to the snapshot that comes back in
+//! verification reports, and the snapshot must serialize to JSON (the
+//! CLI's `--metrics` dump and the bench result files rely on it).
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::ring;
+use realconfig::{ChangeSet, RealConfig};
+
+fn build() -> (RealConfig, realconfig::FullReport) {
+    let configs = build_configs(&ring(4), ProtocolChoice::Ospf);
+    RealConfig::new(configs).expect("ring verifies")
+}
+
+#[test]
+fn full_report_has_metrics_from_every_stage() {
+    let (_rc, full) = build();
+    let m = &full.metrics;
+
+    // Stage 1: per-operator dataflow work counters.
+    assert!(
+        m.counters.keys().any(|k| k.starts_with("dataflow.work.")),
+        "no dataflow.work.* counters in {:?}",
+        m.counters.keys().collect::<Vec<_>>()
+    );
+    assert!(m.counters["dataflow.records"] > 0);
+    assert!(m.counters["dataflow.epochs"] >= 1);
+
+    // Stage 2: EC model state.
+    assert!(m.gauges["apkeep.ecs"] > 0);
+    assert!(m.gauges["apkeep.rules"] > 0);
+    assert!(m.counters["apkeep.rules_applied"] > 0);
+
+    // Stage 3: policy checker.
+    assert!(m.counters.contains_key("policy.affected_ecs"));
+    assert!(m.gauges["policy.pairs"] > 0);
+    assert_eq!(m.histograms["policy.check_full_us"].count, 1);
+}
+
+#[test]
+fn change_report_metrics_accumulate() {
+    let (mut rc, full) = build();
+    let report = rc.apply_change(&ChangeSet::link_failure("r001", "eth1")).expect("verifies");
+    let m = &report.metrics;
+
+    // Counters are cumulative since construction: the change's work
+    // lands on top of the initial build's.
+    assert!(m.counters["dataflow.records"] > full.metrics.counters["dataflow.records"]);
+    assert!(m.counters["dataflow.epochs"] > full.metrics.counters["dataflow.epochs"]);
+    assert!(m.counters["apkeep.rules_applied"] >= full.metrics.counters["apkeep.rules_applied"]);
+    // The incremental check path was timed exactly once.
+    assert_eq!(m.histograms["policy.check_incremental_us"].count, 1);
+    // The live snapshot accessor agrees with the report.
+    assert_eq!(rc.metrics_snapshot(), report.metrics);
+}
+
+#[test]
+fn compaction_records_before_and_after_trace_sizes() {
+    let (mut rc, _) = build();
+    rc.apply_change(&ChangeSet::link_failure("r001", "eth1")).expect("verifies");
+    rc.compact();
+    let m = rc.metrics_snapshot();
+    let before = m.counters["dataflow.compact.records_before"];
+    let after = m.counters["dataflow.compact.records_after"];
+    assert!(before > 0, "compaction saw no trace records");
+    assert!(after <= before, "compaction grew the traces: {after} > {before}");
+}
+
+#[test]
+fn snapshot_serializes_to_json_with_stage_counters() {
+    let (rc, _) = build();
+    let json = serde_json::to_string_pretty(&rc.metrics_snapshot()).expect("serializes");
+    for needle in ["dataflow.work.", "apkeep.ecs", "policy.affected_ecs"] {
+        assert!(json.contains(needle), "{needle:?} missing from JSON:\n{json}");
+    }
+}

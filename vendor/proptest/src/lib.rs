@@ -1,0 +1,872 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the strategy-combinator subset of the proptest API its test
+//! suites use: `proptest!`, `prop_compose!`, `prop_oneof!`, the
+//! `prop_assert*` macros, `Strategy` with `prop_map`/`prop_recursive`/
+//! `boxed`, `Just`, `any`, integer-range strategies, tuple strategies,
+//! `prop::collection::vec` and `prop::option::of`.
+//!
+//! Differences from the real crate, by design:
+//!
+//! - **No shrinking.** A failing case prints its fully generated inputs
+//!   (`Debug`) and the deterministic case seed, then re-panics.
+//! - **Deterministic.** Case seeds derive from the test's module path,
+//!   name and case index, so every run explores the same inputs.
+//! - **Regression files are not replayed.** `*.proptest-regressions`
+//!   seeds index into the real proptest PRNG and cannot be reproduced
+//!   here; known counterexamples are pinned as explicit unit tests
+//!   instead (see `tests/regressions.rs` files in this workspace).
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+pub mod test_runner {
+    /// Deterministic xoshiro256** generator.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng { s: [next(), next(), next(), next()] }
+        }
+
+        /// Seed for one (test, case) pair: FNV-1a over the test name,
+        /// mixed with the case index.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            Self::from_seed(h ^ ((case as u64) << 32 | case as u64))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, span)`.
+        pub fn below(&mut self, span: u64) -> u64 {
+            debug_assert!(span > 0);
+            ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration (the `cases` knob only).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<U: Clone + Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| inner.generate(rng)))
+    }
+
+    /// Recursive strategies: `depth` rounds of wrapping `self` (the
+    /// leaf) with `branch`. The extra size parameters of the real API
+    /// are accepted and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let b = branch(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                // 1-in-4 chance of bottoming out early at each level.
+                if rng.below(4) == 0 {
+                    l.generate(rng)
+                } else {
+                    b.generate(rng)
+                }
+            }));
+        }
+        cur
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Clone, F: Clone> Clone for Map<S, F> {
+    fn clone(&self) -> Self {
+        Map { inner: self.inner.clone(), f: self.f.clone() }
+    }
+}
+
+impl<S: Strategy, U: Clone + Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive candidates");
+    }
+}
+
+/// Weighted choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<T: Clone + Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies
+
+/// Full-domain generation (`any::<T>()`).
+pub trait Arbitrary: Clone + Debug + 'static {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64) - (lo as u64) + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident)+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A B);
+impl_tuple_strategy!(A B C);
+impl_tuple_strategy!(A B C D);
+impl_tuple_strategy!(A B C D E);
+impl_tuple_strategy!(A B C D E F);
+impl_tuple_strategy!(A B C D E F G);
+impl_tuple_strategy!(A B C D E F G H);
+impl_tuple_strategy!(A B C D E F G H I);
+impl_tuple_strategy!(A B C D E F G H I J);
+
+/// String strategies from pattern literals. Supports the tiny pattern
+/// subset used in this workspace: `\PC` (any printable char), `.`,
+/// literal characters, and quantifiers `{m,n}`, `*`, `+`, `?` applied
+/// to the preceding token.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    #[derive(Clone)]
+    enum Tok {
+        Printable,
+        AnyChar,
+        Lit(char),
+    }
+
+    // Printable pool biased toward config-file-looking noise.
+    const POOL: &str = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ\
+                        0123456789 .,:;!#/\\-_()[]{}<>\"'=+*%@~^|?&µλ東";
+
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    let mut out = String::new();
+
+    let emit = |tok: &Tok, rng: &mut TestRng, out: &mut String| match tok {
+        Tok::Printable | Tok::AnyChar => {
+            let pool: Vec<char> = POOL.chars().collect();
+            out.push(pool[rng.below(pool.len() as u64) as usize]);
+        }
+        Tok::Lit(c) => out.push(*c),
+    };
+
+    while let Some(c) = chars.next() {
+        let tok = match c {
+            '\\' => match chars.next() {
+                Some('P') => {
+                    // \PC — "not a control character".
+                    chars.next();
+                    Tok::Printable
+                }
+                Some('p') => {
+                    chars.next();
+                    Tok::Printable
+                }
+                Some(other) => Tok::Lit(other),
+                None => break,
+            },
+            '.' => Tok::AnyChar,
+            '{' => {
+                // Quantifier on the previous token.
+                let mut spec = String::new();
+                for q in chars.by_ref() {
+                    if q == '}' {
+                        break;
+                    }
+                    spec.push(q);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((a, b)) => {
+                        (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(8))
+                    }
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                };
+                let prev = toks.pop().expect("quantifier without preceding token");
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(&prev, rng, &mut out);
+                }
+                continue;
+            }
+            '*' | '+' | '?' => {
+                let (lo, hi) = match c {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                };
+                let prev = toks.pop().expect("quantifier without preceding token");
+                let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+                for _ in 0..n {
+                    emit(&prev, rng, &mut out);
+                }
+                continue;
+            }
+            other => Tok::Lit(other),
+        };
+        // Flush the previous token (tokens are emitted lazily so a
+        // following quantifier can grab them).
+        if let Some(prev) = toks.pop() {
+            emit(&prev, rng, &mut out);
+        }
+        toks.push(tok);
+    }
+    if let Some(prev) = toks.pop() {
+        emit(&prev, rng, &mut out);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Collections
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Clone> Clone for VecStrategy<S> {
+        fn clone(&self) -> Self {
+            VecStrategy { elem: self.elem.clone(), size: self.size }
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo + 1) as u64;
+            let n = self.size.lo + rng.below(span) as usize;
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Clone> Clone for OptionStrategy<S> {
+        fn clone(&self) -> Self {
+            OptionStrategy { inner: self.inner.clone() }
+        }
+    }
+
+    /// `None` one time in four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The `prop::` namespace as test code writes it.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+pub mod strategy {
+    pub use crate::{BoxedStrategy, Just, Strategy, Union};
+}
+
+pub mod prelude {
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// `proptest! { #![proptest_config(..)] #[test] fn name(a in strat, b: ty) {..} .. }`
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! {
+                cfg = ($cfg);
+                name = $name;
+                pats = ();
+                strats = ();
+                params = ($($params)*);
+                body = $body
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // `pat in strategy, ...`
+    (cfg = ($cfg:expr); name = $name:ident; pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident in $s:expr, $($rest:tt)+); body = $body:block) => {
+        $crate::__proptest_case! { cfg = ($cfg); name = $name; pats = ($($pat)* $p);
+            strats = ($($strat;)* $s;); params = ($($rest)+); body = $body }
+    };
+    // `pat in strategy` (final)
+    (cfg = ($cfg:expr); name = $name:ident; pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident in $s:expr $(,)?); body = $body:block) => {
+        $crate::__proptest_case! { cfg = ($cfg); name = $name; pats = ($($pat)* $p);
+            strats = ($($strat;)* $s;); params = (); body = $body }
+    };
+    // `pat: Type, ...` sugar for `pat in any::<Type>(), ...`
+    (cfg = ($cfg:expr); name = $name:ident; pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident : $t:ty, $($rest:tt)+); body = $body:block) => {
+        $crate::__proptest_case! { cfg = ($cfg); name = $name; pats = ($($pat)* $p);
+            strats = ($($strat;)* $crate::any::<$t>();); params = ($($rest)+); body = $body }
+    };
+    // `pat: Type` (final)
+    (cfg = ($cfg:expr); name = $name:ident; pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident : $t:ty $(,)?); body = $body:block) => {
+        $crate::__proptest_case! { cfg = ($cfg); name = $name; pats = ($($pat)* $p);
+            strats = ($($strat;)* $crate::any::<$t>();); params = (); body = $body }
+    };
+    // All parameters munched: emit the runner.
+    (cfg = ($cfg:expr); name = $name:ident; pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = (); body = $body:block) => {{
+        let __cfg: $crate::ProptestConfig = $cfg;
+        let __test_name = concat!(module_path!(), "::", stringify!($name));
+        for __case in 0..__cfg.cases {
+            let mut __rng = $crate::test_runner::TestRng::for_case(__test_name, __case);
+            let __values = ( $( $crate::Strategy::generate(&($strat), &mut __rng), )* );
+            let __result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                let ( $($pat,)* ) = ::std::clone::Clone::clone(&__values);
+                $body
+            }));
+            if let Err(__e) = __result {
+                eprintln!(
+                    "proptest failure: {} case #{} of {}\ninputs: {:#?}",
+                    __test_name, __case, __cfg.cases, __values
+                );
+                ::std::panic::resume_unwind(__e);
+            }
+        }
+    }};
+}
+
+/// `prop_compose! { fn name(args)(a in strat, ...) -> Type { body } }`
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($args:tt)*)($($params:tt)*) -> $ret:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($args)*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::__prop_compose_body! { pats = (); strats = (); params = ($($params)*); body = $body }
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_compose_body {
+    (pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident in $s:expr, $($rest:tt)+); body = $body:block) => {
+        $crate::__prop_compose_body! { pats = ($($pat)* $p); strats = ($($strat;)* $s;);
+            params = ($($rest)+); body = $body }
+    };
+    (pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident in $s:expr $(,)?); body = $body:block) => {
+        $crate::__prop_compose_body! { pats = ($($pat)* $p); strats = ($($strat;)* $s;);
+            params = (); body = $body }
+    };
+    (pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident : $t:ty, $($rest:tt)+); body = $body:block) => {
+        $crate::__prop_compose_body! { pats = ($($pat)* $p);
+            strats = ($($strat;)* $crate::any::<$t>();); params = ($($rest)+); body = $body }
+    };
+    (pats = ($($pat:pat)*); strats = ($($strat:expr;)*);
+     params = ($p:ident : $t:ty $(,)?); body = $body:block) => {
+        $crate::__prop_compose_body! { pats = ($($pat)* $p);
+            strats = ($($strat;)* $crate::any::<$t>();); params = (); body = $body }
+    };
+    (pats = ($($pat:pat)*); strats = ($($strat:expr;)*); params = (); body = $body:block) => {
+        $crate::Strategy::prop_map(
+            ( $($strat,)* ),
+            move |( $($pat,)* )| $body
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_cases() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x::y", 4);
+        assert_ne!(TestRng::for_case("x::y", 3).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::for_case("t", 0);
+        let s = (0u32..5, 1u8..=3, any::<bool>());
+        for _ in 0..200 {
+            let (a, b, _) = s.generate(&mut rng);
+            assert!(a < 5);
+            assert!((1..=3).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_cover_all_arms() {
+        let mut rng = TestRng::for_case("t2", 0);
+        let s = prop_oneof![
+            3 => Just(0u32),
+            1 => Just(1u32),
+        ];
+        let mut seen = [0u32; 2];
+        for _ in 0..400 {
+            seen[s.generate(&mut rng) as usize] += 1;
+        }
+        assert!(seen[0] > seen[1]);
+        assert!(seen[1] > 0);
+    }
+
+    #[test]
+    fn vec_respects_size() {
+        let mut rng = TestRng::for_case("t3", 0);
+        let s = prop::collection::vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn pattern_strategy_generates_within_length() {
+        let mut rng = TestRng::for_case("t4", 0);
+        let s: &'static str = "\\PC{0,200}";
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v.chars().count() <= 200);
+            assert!(v.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn recursive_bottoms_out() {
+        #[derive(Clone, Debug)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(u32),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> u32 {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u32..4).prop_map(T::Leaf);
+        let s = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::for_case("t5", 0);
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut rng)) <= 5 + 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_works_with_mixed_params(a in 0u32..10, b: bool, c in prop::collection::vec(0u8..3, 1..4)) {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(!c.is_empty() && c.len() < 4);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..5, b in 10u32..20) -> (u32, u32) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy(p in arb_pair()) {
+            prop_assert!(p.0 < 5 && (10..20).contains(&p.1));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` for
+//! plain named-field structs, parsed by hand from the token stream (no
+//! syn/quote available offline).
+//!
+//! Supported shape:
+//!
+//! ```ignore
+//! #[derive(Serialize)]
+//! struct Name {
+//!     a: u32,
+//!     #[serde(with = "module")] b: Duration,   // module::serialize(&b, s)
+//!     #[serde(rename = "c2")] c: usize,
+//! }
+//! ```
+//!
+//! Generics, enums and tuple structs are rejected with a compile error
+//! naming this vendored macro, so a future API expansion fails loudly
+//! rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+struct Field {
+    name: String,
+    json_key: String,
+    with: Option<String>,
+    ty: String,
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes and visibility.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => {
+            return Err(format!(
+                "vendored serde_derive only supports structs, got {other:?}"
+            ))
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct name, got {other:?}")),
+    };
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!(
+                "vendored serde_derive does not support generics (struct {name})"
+            ))
+        }
+        other => {
+            return Err(format!(
+                "vendored serde_derive needs named fields (struct {name}, got {other:?})"
+            ))
+        }
+    };
+
+    let fields = parse_fields(body)?;
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __s: __S) \
+         -> ::core::result::Result<__S::Ok, __S::Error> {{\n"
+    ));
+    out.push_str(&format!(
+        "#[allow(unused_mut)] let mut __st = \
+         ::serde::Serializer::serialize_struct(__s, {name:?}, {})?;\n",
+        fields.len()
+    ));
+    for f in &fields {
+        let key = &f.json_key;
+        let fname = &f.name;
+        match &f.with {
+            None => out.push_str(&format!(
+                "::serde::SerializeStruct::serialize_field(&mut __st, {key:?}, &self.{fname})?;\n"
+            )),
+            Some(module) => {
+                let ty = &f.ty;
+                out.push_str(&format!(
+                    "{{\n\
+                     struct __SerdeWith<'__a> {{ __v: &'__a {ty} }}\n\
+                     impl<'__a> ::serde::Serialize for __SerdeWith<'__a> {{\n\
+                     fn serialize<__S2: ::serde::Serializer>(&self, __s2: __S2) \
+                     -> ::core::result::Result<__S2::Ok, __S2::Error> {{\n\
+                     {module}::serialize(self.__v, __s2)\n\
+                     }}\n}}\n\
+                     ::serde::SerializeStruct::serialize_field(&mut __st, {key:?}, \
+                     &__SerdeWith {{ __v: &self.{fname} }})?;\n\
+                     }}\n"
+                ))
+            }
+        }
+    }
+    out.push_str("::serde::SerializeStruct::end(__st)\n}\n}\n");
+    out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut with = None;
+        let mut rename = None;
+        // Field attributes (doc comments and #[serde(...)]).
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    let group = match iter.next() {
+                        Some(TokenTree::Group(g)) => g,
+                        other => return Err(format!("malformed attribute: {other:?}")),
+                    };
+                    parse_serde_attr(group.stream(), &mut with, &mut rename)?;
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected ':' after field {name}, got {other:?}")),
+        }
+        // Type: tokens up to a top-level comma. Track angle-bracket
+        // depth so `BTreeMap<String, u64>` survives.
+        let mut ty = String::new();
+        let mut angle: i32 = 0;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(tt) => {
+                    if let TokenTree::Punct(p) = tt {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            _ => {}
+                        }
+                    }
+                    if !ty.is_empty() {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&tt.to_string());
+                    iter.next();
+                }
+            }
+        }
+        let json_key = rename.unwrap_or_else(|| name.clone());
+        fields.push(Field { name, json_key, with, ty });
+    }
+    Ok(fields)
+}
+
+/// Inspect one attribute body (the tokens inside `#[...]`); record
+/// `with`/`rename` values when it is a `serde(...)` attribute.
+fn parse_serde_attr(
+    attr: TokenStream,
+    with: &mut Option<String>,
+    rename: &mut Option<String>,
+) -> Result<(), String> {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Ok(()), // doc comment or unrelated attribute
+    }
+    let inner = match iter.next() {
+        Some(TokenTree::Group(g)) => g.stream(),
+        other => return Err(format!("malformed #[serde] attribute: {other:?}")),
+    };
+    let mut it = inner.into_iter();
+    while let Some(tt) = it.next() {
+        let TokenTree::Ident(key) = &tt else { continue };
+        let key = key.to_string();
+        // Expect `= "literal"` next.
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+            _ => {
+                return Err(format!(
+                    "vendored serde_derive only supports with/rename = \"..\" (saw `{key}`)"
+                ))
+            }
+        }
+        let value = match it.next() {
+            Some(TokenTree::Literal(l)) => {
+                let s = l.to_string();
+                s.trim_matches('"').to_string()
+            }
+            other => return Err(format!("expected string literal after {key}=, got {other:?}")),
+        };
+        match key.as_str() {
+            "with" => *with = Some(value),
+            "rename" => *rename = Some(value),
+            other => {
+                return Err(format!(
+                    "vendored serde_derive does not support #[serde({other} = ...)]"
+                ))
+            }
+        }
+        // Optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = it.next() {
+            if p.as_char() != ',' {
+                return Err("malformed #[serde] attribute".to_string());
+            }
+        }
+    }
+    Ok(())
+}

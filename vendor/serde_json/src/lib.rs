@@ -1,0 +1,575 @@
+//! Offline stand-in for `serde_json`: serialization of anything
+//! implementing the vendored [`serde::Serialize`] to compact or pretty
+//! JSON, and a [`Value`] type with a recursive-descent parser for the
+//! read side.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Serialize, SerializeMap, SerializeSeq, SerializeStruct, Serializer};
+
+/// JSON error (serialization or parse).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Serialization
+
+/// Serialize to compact JSON.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(Ser { out: &mut out, pretty: false, level: 0 })?;
+    Ok(out)
+}
+
+/// Serialize to human-readable, two-space-indented JSON.
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(Ser { out: &mut out, pretty: true, level: 0 })?;
+    Ok(out)
+}
+
+/// Serialize pretty JSON into an `io::Write`.
+pub fn to_writer_pretty<W: std::io::Write, T: ?Sized + Serialize>(
+    mut w: W,
+    value: &T,
+) -> Result<()> {
+    let s = to_string_pretty(value)?;
+    w.write_all(s.as_bytes()).map_err(|e| Error(e.to_string()))
+}
+
+struct Ser<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    level: usize,
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Shared compound-writer state for arrays and objects.
+struct Compound<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    level: usize,
+    first: bool,
+    close: char,
+}
+
+impl<'a> Compound<'a> {
+    fn begin(ser: Ser<'a>, open: char, close: char) -> Self {
+        ser.out.push(open);
+        Compound { out: ser.out, pretty: ser.pretty, level: ser.level + 1, first: true, close }
+    }
+
+    fn item_prefix(&mut self) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.level {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn finish(self) {
+        if self.pretty && !self.first {
+            self.out.push('\n');
+            for _ in 0..self.level - 1 {
+                self.out.push_str("  ");
+            }
+        }
+        self.out.push(self.close);
+    }
+
+    fn value_ser(&mut self) -> Ser<'_> {
+        Ser { out: self.out, pretty: self.pretty, level: self.level }
+    }
+}
+
+impl<'a> Serializer for Ser<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<()> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<()> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<()> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<()> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<()> {
+        if v.is_finite() {
+            // Match serde_json: integral floats keep a ".0" suffix.
+            if v == v.trunc() && v.abs() < 1e15 {
+                self.out.push_str(&format!("{v:.1}"));
+            } else {
+                self.out.push_str(&v.to_string());
+            }
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<()> {
+        write_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<()> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, v: &T) -> Result<()> {
+        v.serialize(self)
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>> {
+        Ok(Compound::begin(self, '[', ']'))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>> {
+        Ok(Compound::begin(self, '{', '}'))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>> {
+        Ok(Compound::begin(self, '{', '}'))
+    }
+}
+
+impl<'a> SerializeSeq for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, v: &T) -> Result<()> {
+        self.item_prefix();
+        v.serialize(self.value_ser())
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl<'a> SerializeStruct for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, key: &'static str, v: &T) -> Result<()> {
+        self.item_prefix();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        v.serialize(self.value_ser())
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl<'a> SerializeMap for Compound<'a> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<V: ?Sized + Serialize>(&mut self, key: &str, v: &V) -> Result<()> {
+        self.item_prefix();
+        write_escaped(self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        v.serialize(self.value_ser())
+    }
+
+    fn end(self) -> Result<()> {
+        self.finish();
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value + parser
+
+/// A parsed JSON document.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Parse a JSON document from bytes.
+pub fn from_slice(bytes: &[u8]) -> Result<Value> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error(e.to_string()))?;
+    from_str(s)
+}
+
+/// Parse a JSON document from a string.
+pub fn from_str(s: &str) -> Result<Value> {
+    let mut p = Parser { s: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && (self.s[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!("expected '{}' at byte {}", b as char, self.pos)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value> {
+        if self.s[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(Error("unterminated string".into()));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(e) = self.peek() else {
+                        return Err(Error("unterminated escape".into()));
+                    };
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.s.len() {
+                                return Err(Error("truncated \\u escape".into()));
+                            }
+                            let hex = std::str::from_utf8(&self.s[self.pos..self.pos + 4])
+                                .map_err(|e| Error(e.to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| Error(e.to_string()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from this byte.
+                    let start = self.pos - 1;
+                    let width = utf8_width(c);
+                    let end = start + width;
+                    if end > self.s.len() {
+                        return Err(Error("truncated UTF-8".into()));
+                    }
+                    let chunk = std::str::from_utf8(&self.s[start..end])
+                        .map_err(|e| Error(e.to_string()))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.s[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Value::Number).map_err(|e| Error(e.to_string()))
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(Error(format!("expected ',' or ']', got {other:?}"))),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            map.insert(key, v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                other => return Err(Error(format!("expected ',' or '}}', got {other:?}"))),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&"a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+    }
+
+    #[test]
+    fn pretty_object() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        assert_eq!(to_string_pretty(&m).unwrap(), "{\n  \"a\": 1,\n  \"b\": 2\n}");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v = from_str(r#"{"a": [1, 2.5, "x"], "b": {"c": null, "d": true}}"#).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2].as_str(), Some("x"));
+        assert!(v["b"]["c"].is_null());
+        assert_eq!(v["b"]["d"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn serialize_then_parse() {
+        let mut m = BTreeMap::new();
+        m.insert("k".to_string(), vec![10u64, 20]);
+        let s = to_string_pretty(&m).unwrap();
+        let v = from_str(&s).unwrap();
+        assert_eq!(v["k"][1].as_u64(), Some(20));
+    }
+}
