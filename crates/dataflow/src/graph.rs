@@ -1,11 +1,21 @@
-//! Dataflow graph plumbing: edges, node registry, and the epoch driver.
+//! Dataflow graph plumbing: edges, node registry, the dirty-set
+//! scheduler and the epoch driver.
 //!
 //! The engine is single-threaded and epoch-synchronous. Nodes are stored
 //! in creation order, which is a topological order of the (acyclic,
 //! feedback-excepted) graph, so one pass per logical time suffices:
 //! every producer runs before its consumers.
+//!
+//! Scheduling is *dirty-set driven*: every registered node owns a slot
+//! in a shared [`Scheduler`], and [`Fanout::emit`] marks the consuming
+//! node's slot when it delivers a non-empty batch. The epoch driver and
+//! the `iterate` fixpoint loop step only nodes that are dirty or hold
+//! internal pending work (deferred emissions, unprocessed interesting
+//! times), so an incremental update pays for the operators it actually
+//! touches — not for the whole graph. Epoch-end invariant checks
+//! (`end_epoch`, `flush_scope`) still sweep every node.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
@@ -15,12 +25,133 @@ use crate::delta::{Data, Delta};
 use crate::error::EvalError;
 use crate::time::Time;
 
+/// Scheduler slot of a queue whose consumer has not been registered yet
+/// (or never will be, e.g. an [`crate::OutputHandle`]'s queue).
+pub(crate) const UNBOUND: usize = usize::MAX;
+
+/// Shared dirty-set state. One instance per [`Dataflow`], covering the
+/// top level and every `iterate` scope (slots are allocated globally at
+/// registration time).
+pub(crate) struct Scheduler {
+    dirty: RefCell<Vec<bool>>,
+    steps_run: Cell<u64>,
+    steps_skipped: Cell<u64>,
+}
+
+impl Scheduler {
+    fn new() -> Rc<Self> {
+        Rc::new(Scheduler {
+            dirty: RefCell::new(Vec::new()),
+            steps_run: Cell::new(0),
+            steps_skipped: Cell::new(0),
+        })
+    }
+
+    /// Allocate a slot for a newly registered node.
+    fn alloc(&self) -> usize {
+        let mut d = self.dirty.borrow_mut();
+        d.push(false);
+        d.len() - 1
+    }
+
+    /// Mark a node dirty: it has fresh queued input.
+    pub fn mark(&self, slot: usize) {
+        if slot != UNBOUND {
+            self.dirty.borrow_mut()[slot] = true;
+        }
+    }
+
+    /// Read a node's dirty flag without clearing it.
+    pub fn is_dirty(&self, slot: usize) -> bool {
+        slot != UNBOUND && self.dirty.borrow()[slot]
+    }
+
+    /// Consume a node's dirty flag.
+    pub fn take(&self, slot: usize) -> bool {
+        if slot == UNBOUND {
+            return false;
+        }
+        std::mem::replace(&mut self.dirty.borrow_mut()[slot], false)
+    }
+
+    /// Count one scheduling decision (for telemetry).
+    pub fn count(&self, ran: bool) {
+        if ran {
+            self.steps_run.set(self.steps_run.get() + 1);
+        } else {
+            self.steps_skipped.set(self.steps_skipped.get() + 1);
+        }
+    }
+
+    /// Cumulative `(steps_run, steps_skipped)` counters.
+    pub fn step_counts(&self) -> (u64, u64) {
+        (self.steps_run.get(), self.steps_skipped.get())
+    }
+}
+
 /// A typed edge: producers push difference records, the (single)
-/// consumer drains them on its step.
-pub(crate) type Queue<D> = Rc<RefCell<Vec<Delta<D>>>>;
+/// consumer drains them on its step. The edge knows its consumer's
+/// scheduler slot so a delivery can mark the consumer dirty.
+pub(crate) struct QueueInner<D: Data> {
+    data: RefCell<Vec<Delta<D>>>,
+    consumer: Cell<usize>,
+    sched: RefCell<Option<Rc<Scheduler>>>,
+}
+
+pub(crate) type Queue<D> = Rc<QueueInner<D>>;
 
 pub(crate) fn new_queue<D: Data>() -> Queue<D> {
-    Rc::new(RefCell::new(Vec::new()))
+    Rc::new(QueueInner {
+        data: RefCell::new(Vec::new()),
+        consumer: Cell::new(UNBOUND),
+        sched: RefCell::new(None),
+    })
+}
+
+impl<D: Data> QueueInner<D> {
+    /// Point this edge at its consumer's scheduler slot. Called from the
+    /// consumer's [`OpNode::bind`].
+    pub fn bind(&self, slot: usize, sched: &Rc<Scheduler>) {
+        self.consumer.set(slot);
+        *self.sched.borrow_mut() = Some(Rc::clone(sched));
+    }
+
+    /// Drain all queued records.
+    pub fn take_batch(&self) -> Vec<Delta<D>> {
+        std::mem::take(&mut *self.data.borrow_mut())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.borrow().is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.borrow().len()
+    }
+
+    fn mark_dirty(&self) {
+        if let Some(sched) = &*self.sched.borrow() {
+            sched.mark(self.consumer.get());
+        }
+    }
+
+    fn append_slice(&self, batch: &[Delta<D>]) {
+        self.data.borrow_mut().extend_from_slice(batch);
+        self.mark_dirty();
+    }
+
+    fn append_owned(&self, batch: Vec<Delta<D>>) {
+        let mut data = self.data.borrow_mut();
+        if data.is_empty() {
+            // Adopt the batch's storage outright — the common
+            // single-subscriber, empty-queue case moves, never copies.
+            *data = batch;
+        } else {
+            data.extend(batch);
+        }
+        drop(data);
+        self.mark_dirty();
+    }
 }
 
 /// The produce side of a collection: a list of subscriber queues.
@@ -53,21 +184,22 @@ impl<D: Data> Fanout<D> {
         self.subscribers.borrow_mut().push(Rc::clone(q));
     }
 
-    /// Push a batch to every subscriber.
-    pub fn emit(&self, batch: &[Delta<D>]) {
+    /// Push a batch to every subscriber and mark each one dirty. The
+    /// batch is *moved* into the last subscriber's queue; only the
+    /// n-1 preceding subscribers (rare: most collections have exactly
+    /// one consumer) pay a copy.
+    pub fn emit(&self, batch: Vec<Delta<D>>) {
         if batch.is_empty() {
             return;
         }
         let subs = self.subscribers.borrow();
-        match subs.as_slice() {
-            [] => {}
-            [only] => only.borrow_mut().extend_from_slice(batch),
-            many => {
-                for q in many {
-                    q.borrow_mut().extend_from_slice(batch);
-                }
-            }
+        let Some((last, rest)) = subs.split_last() else {
+            return;
+        };
+        for q in rest {
+            q.append_slice(&batch);
         }
+        last.append_owned(batch);
     }
 }
 
@@ -75,11 +207,26 @@ impl<D: Data> Fanout<D> {
 /// logical time; between steps, upstream operators have already pushed
 /// everything at times `≤ now` into this operator's input queues.
 pub(crate) trait OpNode {
+    /// Record the node's scheduler slot and wire its input queues to it.
+    /// Called exactly once, at registration.
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>);
+
+    /// The scheduler slot assigned by [`OpNode::bind`].
+    fn slot(&self) -> usize;
+
     /// Process queued input at logical time `now`, emitting outputs.
     fn step(&mut self, now: Time) -> Result<(), EvalError>;
 
     /// Whether any input queue holds unprocessed records.
     fn has_queued(&self) -> bool;
+
+    /// Whether the node holds internal state that obliges a step even
+    /// without fresh input: deferred emissions (join, delay),
+    /// unprocessed interesting times (reduce), or — for a scope —
+    /// any dirty or pending child. Drives dirty-set scheduling.
+    fn has_internal_work(&self) -> bool {
+        false
+    }
 
     /// The smallest iteration of `epoch` at which this operator holds
     /// internal pending work (deferred emissions or unprocessed
@@ -133,8 +280,12 @@ pub struct OpStats {
     pub work: u64,
     /// Records currently sitting in input queues.
     pub queued: usize,
-    /// Difference records held in keyed traces.
+    /// Difference records held in keyed traces (both spine layers).
     pub trace_records: usize,
+    /// Trace records in the consolidated base layers.
+    pub trace_base_records: usize,
+    /// Trace records in the recent delta layers.
+    pub trace_recent_records: usize,
     /// Internal pending work: a reduce's unprocessed interesting
     /// times, a join's deferred future-time outputs.
     pub pending: usize,
@@ -146,14 +297,19 @@ pub(crate) struct GraphState {
     /// Stack of node lists: index 0 is the top level; an entry is pushed
     /// while an `iterate` scope is being built.
     stacks: Vec<Vec<Box<dyn OpNode>>>,
+    /// Shared dirty-set scheduler; slots are allocated here as nodes
+    /// register.
+    sched: Rc<Scheduler>,
 }
 
 impl GraphState {
     fn new() -> Self {
-        GraphState { stacks: vec![Vec::new()] }
+        GraphState { stacks: vec![Vec::new()], sched: Scheduler::new() }
     }
 
-    pub fn register(&mut self, node: Box<dyn OpNode>) {
+    pub fn register(&mut self, mut node: Box<dyn OpNode>) {
+        let slot = self.sched.alloc();
+        node.bind(slot, &self.sched);
         self.stacks.last_mut().expect("graph has no scope").push(node);
     }
 
@@ -202,11 +358,17 @@ struct EngineTelemetry {
     queue_depth: rc_telemetry::Histogram,
     pending_times: rc_telemetry::Gauge,
     trace_records: rc_telemetry::Gauge,
+    trace_base_records: rc_telemetry::Gauge,
+    trace_recent_records: rc_telemetry::Gauge,
     compact_before: rc_telemetry::Counter,
     compact_after: rc_telemetry::Counter,
     epochs: rc_telemetry::Counter,
     records: rc_telemetry::Counter,
+    steps_run: rc_telemetry::Counter,
+    steps_skipped: rc_telemetry::Counter,
     work_by_op: BTreeMap<&'static str, u64>,
+    /// Last-seen cumulative scheduler counters (for per-epoch deltas).
+    sched_baseline: (u64, u64),
 }
 
 impl EngineTelemetry {
@@ -215,17 +377,27 @@ impl EngineTelemetry {
             queue_depth: registry.histogram("dataflow.queue_depth"),
             pending_times: registry.gauge("dataflow.reduce.pending_times"),
             trace_records: registry.gauge("dataflow.trace_records"),
+            trace_base_records: registry.gauge("dataflow.trace.base_records"),
+            trace_recent_records: registry.gauge("dataflow.trace.recent_records"),
             compact_before: registry.counter("dataflow.compact.records_before"),
             compact_after: registry.counter("dataflow.compact.records_after"),
             epochs: registry.counter("dataflow.epochs"),
             records: registry.counter("dataflow.records"),
+            steps_run: registry.counter("dataflow.sched.steps_run"),
+            steps_skipped: registry.counter("dataflow.sched.steps_skipped"),
             work_by_op: BTreeMap::new(),
+            sched_baseline: (0, 0),
             registry,
         }
     }
 
     /// Record one completed epoch from the aggregated operator stats.
-    fn record_epoch(&mut self, stats: &BTreeMap<&'static str, OpStats>, records: u64) {
+    fn record_epoch(
+        &mut self,
+        stats: &BTreeMap<&'static str, OpStats>,
+        records: u64,
+        sched: &Scheduler,
+    ) {
         self.epochs.incr();
         self.records.add(records);
         for (name, s) in stats {
@@ -238,6 +410,14 @@ impl EngineTelemetry {
         self.pending_times
             .set(stats.get("reduce").map(|s| s.pending).unwrap_or(0) as i64);
         self.trace_records.set(stats.values().map(|s| s.trace_records).sum::<usize>() as i64);
+        self.trace_base_records
+            .set(stats.values().map(|s| s.trace_base_records).sum::<usize>() as i64);
+        self.trace_recent_records
+            .set(stats.values().map(|s| s.trace_recent_records).sum::<usize>() as i64);
+        let (run, skipped) = sched.step_counts();
+        self.steps_run.add(run - self.sched_baseline.0);
+        self.steps_skipped.add(skipped - self.sched_baseline.1);
+        self.sched_baseline = (run, skipped);
     }
 }
 
@@ -260,8 +440,9 @@ impl Dataflow {
 
     /// Attach a telemetry registry. Every subsequent [`Dataflow::advance`]
     /// records per-operator work (`dataflow.work.<op>`), queue depths,
-    /// reduce pending-times sizes and trace sizes; [`Dataflow::compact`]
-    /// records trace record counts before and after compaction.
+    /// reduce pending-times sizes, trace spine sizes and scheduler
+    /// decisions; [`Dataflow::compact`] records trace record counts
+    /// before and after compaction.
     pub fn set_telemetry(&mut self, registry: Telemetry) {
         self.telemetry = Some(EngineTelemetry::new(registry));
     }
@@ -285,14 +466,21 @@ impl Dataflow {
         self.epoch
     }
 
+    /// Cumulative scheduler decisions: `(steps_run, steps_skipped)`.
+    pub fn sched_counts(&self) -> (u64, u64) {
+        self.state.borrow().sched.step_counts()
+    }
+
     /// Run one epoch: all changes pushed into input handles since the
     /// previous `advance` take effect atomically, and all derived state
-    /// is updated incrementally.
+    /// is updated incrementally. Only nodes that are dirty (received
+    /// input) or hold internal pending work are stepped.
     pub fn advance(&mut self) -> Result<EpochStats, EvalError> {
         self.epoch += 1;
         let now = Time::new(self.epoch, 0);
         let mut st = self.state.borrow_mut();
         assert!(!st.in_scope(), "advance called while an iterate scope is still being built");
+        let sched = Rc::clone(&st.sched);
         let nodes = &mut st.stacks[0];
         if let Some(tel) = &self.telemetry {
             let mut stats = BTreeMap::new();
@@ -302,7 +490,11 @@ impl Dataflow {
             tel.queue_depth.record(stats.values().map(|s| s.queued).sum::<usize>() as u64);
         }
         for node in nodes.iter_mut() {
-            node.step(now)?;
+            let run = sched.take(node.slot()) || node.has_internal_work();
+            if run {
+                node.step(now)?;
+            }
+            sched.count(run);
         }
         for node in nodes.iter_mut() {
             node.end_epoch(self.epoch);
@@ -315,7 +507,7 @@ impl Dataflow {
             for node in nodes.iter() {
                 node.collect_stats(&mut stats);
             }
-            tel.record_epoch(&stats, records);
+            tel.record_epoch(&stats, records, &sched);
         }
         Ok(EpochStats { epoch: self.epoch, records })
     }

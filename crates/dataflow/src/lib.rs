@@ -53,7 +53,7 @@ mod error;
 mod graph;
 mod operators;
 mod time;
-mod trace;
+pub mod trace;
 pub mod util;
 
 pub use collection::{Collection, DEFAULT_MAX_ITERS};

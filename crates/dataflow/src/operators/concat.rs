@@ -1,11 +1,14 @@
 //! Multiset union of any number of collections.
 
+use std::rc::Rc;
+
 use crate::delta::{consolidate, Data};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 
 pub(crate) struct ConcatNode<D: Data> {
+    slot: usize,
     inputs: Vec<Queue<D>>,
     output: Fanout<D>,
     work: u64,
@@ -13,15 +16,31 @@ pub(crate) struct ConcatNode<D: Data> {
 
 impl<D: Data> ConcatNode<D> {
     pub fn new(inputs: Vec<Queue<D>>, output: Fanout<D>) -> Self {
-        ConcatNode { inputs, output, work: 0 }
+        ConcatNode { slot: UNBOUND, inputs, output, work: 0 }
     }
 }
 
 impl<D: Data> OpNode for ConcatNode<D> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        for q in &self.inputs {
+            q.bind(slot, sched);
+        }
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
         let mut staging = Vec::new();
         for q in &self.inputs {
-            staging.append(&mut q.borrow_mut());
+            let mut batch = q.take_batch();
+            if staging.is_empty() {
+                staging = batch;
+            } else {
+                staging.append(&mut batch);
+            }
         }
         if staging.is_empty() {
             return Ok(());
@@ -29,12 +48,12 @@ impl<D: Data> OpNode for ConcatNode<D> {
         debug_assert!(staging.iter().all(|(_, t, _)| t.leq(now)), "concat: late record");
         self.work += staging.len() as u64;
         consolidate(&mut staging);
-        self.output.emit(&staging);
+        self.output.emit(staging);
         Ok(())
     }
 
     fn has_queued(&self) -> bool {
-        self.inputs.iter().any(|q| !q.borrow().is_empty())
+        self.inputs.iter().any(|q| !q.is_empty())
     }
 
     fn pending_iter(&self, _epoch: u64) -> Option<u32> {

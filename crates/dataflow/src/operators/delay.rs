@@ -3,14 +3,16 @@
 //! loop-variable cycle.
 
 use std::hash::{Hash, Hasher};
+use std::rc::Rc;
 
 use crate::delta::{consolidate, Data, Delta};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 use crate::util::FxHasher;
 
 pub(crate) struct DelayNode<D: Data> {
+    slot: usize,
     input: Queue<D>,
     output: Fanout<D>,
     /// Re-timestamped records whose time is still in the future.
@@ -23,7 +25,7 @@ pub(crate) struct DelayNode<D: Data> {
 
 impl<D: Data> DelayNode<D> {
     pub fn new(input: Queue<D>, output: Fanout<D>) -> Self {
-        DelayNode { input, output, deferred: Vec::new(), last_digest: None, work: 0 }
+        DelayNode { slot: UNBOUND, input, output, deferred: Vec::new(), last_digest: None, work: 0 }
     }
 }
 
@@ -48,8 +50,17 @@ fn digest_of<D: Data>(batch: &[Delta<D>]) -> Option<u64> {
 }
 
 impl<D: Data> OpNode for DelayNode<D> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.input.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let batch = std::mem::take(&mut *self.input.borrow_mut());
+        let batch = self.input.take_batch();
         self.work += batch.len() as u64;
         for (d, t, r) in batch {
             debug_assert_eq!(t.epoch, now.epoch, "delay: cross-epoch feedback");
@@ -61,13 +72,17 @@ impl<D: Data> OpNode for DelayNode<D> {
                 std::mem::take(&mut self.deferred).into_iter().partition(|(_, t, _)| t.leq(now));
             self.deferred = later;
             self.last_digest = digest_of(&ready);
-            self.output.emit(&ready);
+            self.output.emit(ready);
         }
         Ok(())
     }
 
     fn has_queued(&self) -> bool {
-        !self.input.borrow().is_empty()
+        !self.input.is_empty()
+    }
+
+    fn has_internal_work(&self) -> bool {
+        !self.deferred.is_empty()
     }
 
     fn pending_iter(&self, epoch: u64) -> Option<u32> {

@@ -6,12 +6,15 @@
 //! iterations routinely produce differences that cancel (a value
 //! improved twice), and downstream operators should not see that churn.
 
+use std::rc::Rc;
+
 use crate::delta::{consolidate, Data, Delta};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 
 pub(crate) struct EgressNode<D: Data> {
+    slot: usize,
     input: Queue<D>,
     output: Fanout<D>,
     buffer: Vec<Delta<D>>,
@@ -20,13 +23,22 @@ pub(crate) struct EgressNode<D: Data> {
 
 impl<D: Data> EgressNode<D> {
     pub fn new(input: Queue<D>, output: Fanout<D>) -> Self {
-        EgressNode { input, output, buffer: Vec::new(), work: 0 }
+        EgressNode { slot: UNBOUND, input, output, buffer: Vec::new(), work: 0 }
     }
 }
 
 impl<D: Data> OpNode for EgressNode<D> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.input.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let batch = std::mem::take(&mut *self.input.borrow_mut());
+        let batch = self.input.take_batch();
         self.work += batch.len() as u64;
         for (d, t, r) in batch {
             debug_assert!(t.leq(now), "egress: late record");
@@ -36,7 +48,7 @@ impl<D: Data> OpNode for EgressNode<D> {
     }
 
     fn has_queued(&self) -> bool {
-        !self.input.borrow().is_empty()
+        !self.input.is_empty()
     }
 
     fn pending_iter(&self, _epoch: u64) -> Option<u32> {
@@ -46,8 +58,7 @@ impl<D: Data> OpNode for EgressNode<D> {
 
     fn flush_scope(&mut self, _epoch: u64) {
         consolidate(&mut self.buffer);
-        self.output.emit(&self.buffer);
-        self.buffer.clear();
+        self.output.emit(std::mem::take(&mut self.buffer));
     }
 
     fn end_epoch(&mut self, _epoch: u64) {

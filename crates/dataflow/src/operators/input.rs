@@ -1,21 +1,36 @@
 //! Dataflow inputs.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use crate::delta::{consolidate, Data, Diff};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode};
+use crate::graph::{Fanout, OpNode, Scheduler, UNBOUND};
 use crate::time::Time;
 
-type Buffer<D> = Rc<RefCell<Vec<(D, Diff)>>>;
+/// Buffer shared between the client-side handle and the input node.
+/// Knows the node's scheduler slot so client pushes mark it dirty — the
+/// input node is only stepped on epochs where something was buffered.
+struct InputShared<D> {
+    buffer: RefCell<Vec<(D, Diff)>>,
+    slot: Cell<usize>,
+    sched: RefCell<Option<Rc<Scheduler>>>,
+}
+
+impl<D> InputShared<D> {
+    fn mark_dirty(&self) {
+        if let Some(sched) = &*self.sched.borrow() {
+            sched.mark(self.slot.get());
+        }
+    }
+}
 
 /// Client-side handle to an input collection.
 ///
 /// Changes pushed through the handle are buffered; they all take effect
 /// atomically at the next [`crate::Dataflow::advance`].
 pub struct InputHandle<D: Data> {
-    buffer: Buffer<D>,
+    shared: Rc<InputShared<D>>,
 }
 
 impl<D: Data> InputHandle<D> {
@@ -32,45 +47,64 @@ impl<D: Data> InputHandle<D> {
     /// Change the multiplicity of `d` by `diff`.
     pub fn update(&self, d: D, diff: Diff) {
         if diff != 0 {
-            self.buffer.borrow_mut().push((d, diff));
+            self.shared.buffer.borrow_mut().push((d, diff));
+            self.shared.mark_dirty();
         }
     }
 
     /// Insert many records at once.
     pub fn extend<I: IntoIterator<Item = D>>(&self, items: I) {
-        let mut buf = self.buffer.borrow_mut();
+        let mut buf = self.shared.buffer.borrow_mut();
+        let before = buf.len();
         buf.extend(items.into_iter().map(|d| (d, 1)));
+        if buf.len() > before {
+            drop(buf);
+            self.shared.mark_dirty();
+        }
     }
 
     /// Number of buffered (not yet applied) changes.
     pub fn buffered(&self) -> usize {
-        self.buffer.borrow().len()
+        self.shared.buffer.borrow().len()
     }
 }
 
 pub(crate) struct InputNode<D: Data> {
-    buffer: Buffer<D>,
+    shared: Rc<InputShared<D>>,
     output: Fanout<D>,
     work: u64,
 }
 
 impl<D: Data> InputNode<D> {
     pub fn new(output: Fanout<D>) -> (InputHandle<D>, Self) {
-        let buffer: Buffer<D> = Rc::new(RefCell::new(Vec::new()));
-        (InputHandle { buffer: Rc::clone(&buffer) }, InputNode { buffer, output, work: 0 })
+        let shared = Rc::new(InputShared {
+            buffer: RefCell::new(Vec::new()),
+            slot: Cell::new(UNBOUND),
+            sched: RefCell::new(None),
+        });
+        (InputHandle { shared: Rc::clone(&shared) }, InputNode { shared, output, work: 0 })
     }
 }
 
 impl<D: Data> OpNode for InputNode<D> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.shared.slot.set(slot);
+        *self.shared.sched.borrow_mut() = Some(Rc::clone(sched));
+    }
+
+    fn slot(&self) -> usize {
+        self.shared.slot.get()
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let batch = std::mem::take(&mut *self.buffer.borrow_mut());
+        let batch = std::mem::take(&mut *self.shared.buffer.borrow_mut());
         if batch.is_empty() {
             return Ok(());
         }
         self.work += batch.len() as u64;
         let mut staged: Vec<_> = batch.into_iter().map(|(d, r)| (d, now, r)).collect();
         consolidate(&mut staged);
-        self.output.emit(&staged);
+        self.output.emit(staged);
         Ok(())
     }
 

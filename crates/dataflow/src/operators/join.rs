@@ -8,13 +8,16 @@
 //! are deferred and surfaced through `pending_iter`, which forces the
 //! enclosing loop to revisit exactly the affected iterations.
 
+use std::rc::Rc;
+
 use crate::delta::{consolidate, Data, Delta};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 use crate::trace::KeyTrace;
 
 pub(crate) struct JoinNode<K: Data, V: Data, W: Data> {
+    slot: usize,
     in_a: Queue<(K, V)>,
     in_b: Queue<(K, W)>,
     trace_a: KeyTrace<K, V>,
@@ -27,6 +30,7 @@ pub(crate) struct JoinNode<K: Data, V: Data, W: Data> {
 impl<K: Data, V: Data, W: Data> JoinNode<K, V, W> {
     pub fn new(in_a: Queue<(K, V)>, in_b: Queue<(K, W)>, output: Fanout<(K, (V, W))>) -> Self {
         JoinNode {
+            slot: UNBOUND,
             in_a,
             in_b,
             trace_a: KeyTrace::new(),
@@ -39,9 +43,19 @@ impl<K: Data, V: Data, W: Data> JoinNode<K, V, W> {
 }
 
 impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.in_a.bind(slot, sched);
+        self.in_b.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let mut batch_a = std::mem::take(&mut *self.in_a.borrow_mut());
-        let mut batch_b = std::mem::take(&mut *self.in_b.borrow_mut());
+        let mut batch_a = self.in_a.take_batch();
+        let mut batch_b = self.in_b.take_batch();
         if batch_a.is_empty() && batch_b.is_empty() && self.deferred.is_empty() {
             return Ok(());
         }
@@ -50,14 +64,16 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
         self.work += (batch_a.len() + batch_b.len()) as u64;
 
         let mut staging: Vec<Delta<(K, (V, W))>> = Vec::new();
-        // New A-differences against B's existing history. B's history
-        // does not yet contain this step's B-batch, so each (dA, dB)
-        // pair of this step is produced exactly once (below).
+        let mut pairs = 0u64;
+        // New A-differences against B's existing history (both spine
+        // layers, iterated in place). B's history does not yet contain
+        // this step's B-batch, so each (dA, dB) pair of this step is
+        // produced exactly once (below).
         for ((k, v), t1, r1) in &batch_a {
-            for (w, t2, r2) in self.trace_b.history(k) {
-                self.work += 1;
-                staging.push(((k.clone(), (v.clone(), w.clone())), t1.join(*t2), r1 * r2));
-            }
+            self.trace_b.for_each(k, |w, t2, r2| {
+                pairs += 1;
+                staging.push(((k.clone(), (v.clone(), w.clone())), t1.join(t2), r1 * r2));
+            });
         }
         for ((k, v), t, r) in batch_a {
             self.trace_a.push(k, v, t, r);
@@ -65,14 +81,15 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
         // New B-differences against A's history *including* this step's
         // A-batch.
         for ((k, w), t2, r2) in &batch_b {
-            for (v, t1, r1) in self.trace_a.history(k) {
-                self.work += 1;
+            self.trace_a.for_each(k, |v, t1, r1| {
+                pairs += 1;
                 staging.push(((k.clone(), (v.clone(), w.clone())), t1.join(*t2), r1 * r2));
-            }
+            });
         }
         for ((k, w), t, r) in batch_b {
             self.trace_b.push(k, w, t, r);
         }
+        self.work += pairs;
 
         // Release everything due at or before `now`; defer the rest.
         staging.append(&mut self.deferred);
@@ -81,12 +98,16 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
         self.deferred = later;
         let mut ready = ready;
         consolidate(&mut ready);
-        self.output.emit(&ready);
+        self.output.emit(ready);
         Ok(())
     }
 
     fn has_queued(&self) -> bool {
-        !self.in_a.borrow().is_empty() || !self.in_b.borrow().is_empty()
+        !self.in_a.is_empty() || !self.in_b.is_empty()
+    }
+
+    fn has_internal_work(&self) -> bool {
+        !self.deferred.is_empty()
     }
 
     fn pending_iter(&self, epoch: u64) -> Option<u32> {
@@ -113,8 +134,10 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
     fn collect_stats(&self, acc: &mut std::collections::BTreeMap<&'static str, crate::graph::OpStats>) {
         let e = acc.entry(self.name()).or_default();
         e.work += self.work;
-        e.queued += self.in_a.borrow().len() + self.in_b.borrow().len();
+        e.queued += self.in_a.len() + self.in_b.len();
         e.trace_records += self.trace_a.len() + self.trace_b.len();
+        e.trace_base_records += self.trace_a.base_len() + self.trace_b.base_len();
+        e.trace_recent_records += self.trace_a.recent_len() + self.trace_b.recent_len();
         e.pending += self.deferred.len();
     }
 

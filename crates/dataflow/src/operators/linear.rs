@@ -5,9 +5,11 @@
 //! output records, applied difference-by-difference. Linear operators
 //! keep no state, so they are incremental for free.
 
+use std::rc::Rc;
+
 use crate::delta::{consolidate, Data, Delta, Diff};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 
 /// Per-record transformation: receives `(data, time, diff)` and appends
@@ -16,6 +18,7 @@ pub(crate) type LinearLogic<D, E> = Box<dyn FnMut(D, Time, Diff, &mut Vec<Delta<
 
 pub(crate) struct LinearNode<D: Data, E: Data> {
     name: &'static str,
+    slot: usize,
     input: Queue<D>,
     output: Fanout<E>,
     logic: LinearLogic<D, E>,
@@ -30,13 +33,22 @@ impl<D: Data, E: Data> LinearNode<D, E> {
         output: Fanout<E>,
         logic: LinearLogic<D, E>,
     ) -> Self {
-        LinearNode { name, input, output, logic, staging: Vec::new(), work: 0 }
+        LinearNode { name, slot: UNBOUND, input, output, logic, staging: Vec::new(), work: 0 }
     }
 }
 
 impl<D: Data, E: Data> OpNode for LinearNode<D, E> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.input.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let batch = std::mem::take(&mut *self.input.borrow_mut());
+        let batch = self.input.take_batch();
         if batch.is_empty() {
             return Ok(());
         }
@@ -46,13 +58,12 @@ impl<D: Data, E: Data> OpNode for LinearNode<D, E> {
             (self.logic)(d, t, r, &mut self.staging);
         }
         consolidate(&mut self.staging);
-        self.output.emit(&self.staging);
-        self.staging.clear();
+        self.output.emit(std::mem::take(&mut self.staging));
         Ok(())
     }
 
     fn has_queued(&self) -> bool {
-        !self.input.borrow().is_empty()
+        !self.input.is_empty()
     }
 
     fn pending_iter(&self, _epoch: u64) -> Option<u32> {
@@ -60,7 +71,7 @@ impl<D: Data, E: Data> OpNode for LinearNode<D, E> {
     }
 
     fn end_epoch(&mut self, _epoch: u64) {
-        debug_assert!(self.input.borrow().is_empty(), "{}: input left queued", self.name);
+        debug_assert!(self.input.is_empty(), "{}: input left queued", self.name);
     }
 
     fn compact(&mut self, _frontier: u64) {}

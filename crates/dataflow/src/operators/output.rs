@@ -1,10 +1,8 @@
 //! Dataflow outputs: client-side views of a collection's changes and
 //! accumulated state.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use crate::delta::{consolidate_values, Data, Delta, Diff};
+use crate::delta::{consolidate_values, Data, Diff};
+use crate::graph::Queue;
 use crate::util::FxHashMap;
 
 /// Client-side handle observing a collection.
@@ -13,19 +11,19 @@ use crate::util::FxHashMap;
 /// returns the net changes of the epoch, and the handle folds them into
 /// an accumulated multiset view available via [`OutputHandle::state`].
 pub struct OutputHandle<D: Data> {
-    queue: Rc<RefCell<Vec<Delta<D>>>>,
+    queue: Queue<D>,
     state: FxHashMap<D, Diff>,
 }
 
 impl<D: Data> OutputHandle<D> {
-    pub(crate) fn new(queue: Rc<RefCell<Vec<Delta<D>>>>) -> Self {
+    pub(crate) fn new(queue: Queue<D>) -> Self {
         OutputHandle { queue, state: FxHashMap::default() }
     }
 
     /// Net changes since the last `drain`, consolidated (time-erased)
     /// and sorted. Also folds the changes into the accumulated view.
     pub fn drain(&mut self) -> Vec<(D, Diff)> {
-        let batch = std::mem::take(&mut *self.queue.borrow_mut());
+        let batch = self.queue.take_batch();
         let mut values: Vec<(D, Diff)> = batch.into_iter().map(|(d, _, r)| (d, r)).collect();
         consolidate_values(&mut values);
         for (d, r) in &values {

@@ -17,10 +17,11 @@
 //! reaches them.
 
 use std::collections::BTreeSet;
+use std::rc::Rc;
 
 use crate::delta::{consolidate, consolidate_values, value_delta, Data, Delta, Diff};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue};
+use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
 use crate::time::Time;
 use crate::trace::KeyTrace;
 
@@ -31,6 +32,7 @@ pub(crate) type ReduceLogic<K, V, W> = Box<dyn FnMut(&K, &[(V, Diff)]) -> Vec<(W
 
 pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
     name: &'static str,
+    slot: usize,
     input: Queue<(K, V)>,
     in_trace: KeyTrace<K, V>,
     out_trace: KeyTrace<K, W>,
@@ -38,6 +40,9 @@ pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
     /// processed. Lexicographic order on `Time` linearizes the partial
     /// order, so iterating the set front-to-back is causally safe.
     pending: BTreeSet<(Time, K)>,
+    /// Scratch buffer for per-key recorded-times lookups, reused across
+    /// keys and steps to avoid an allocation per batch record.
+    times_scratch: Vec<Time>,
     logic: ReduceLogic<K, V, W>,
     output: Fanout<(K, W)>,
     work: u64,
@@ -52,10 +57,12 @@ impl<K: Data, V: Data, W: Data> ReduceNode<K, V, W> {
     ) -> Self {
         ReduceNode {
             name,
+            slot: UNBOUND,
             input,
             in_trace: KeyTrace::new(),
             out_trace: KeyTrace::new(),
             pending: BTreeSet::new(),
+            times_scratch: Vec::new(),
             logic,
             output,
             work: 0,
@@ -64,8 +71,17 @@ impl<K: Data, V: Data, W: Data> ReduceNode<K, V, W> {
 }
 
 impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.input.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let mut batch = std::mem::take(&mut *self.input.borrow_mut());
+        let mut batch = self.input.take_batch();
         if batch.is_empty() && self.pending.is_empty() {
             return Ok(());
         }
@@ -87,13 +103,16 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
         }
         new_times.sort();
         new_times.dedup();
+        let mut times_scratch = std::mem::take(&mut self.times_scratch);
         for (k, t) in new_times {
-            for u in self.in_trace.times(&k) {
+            self.in_trace.times_into(&k, &mut times_scratch);
+            for &u in &times_scratch {
                 let j = t.join(u);
                 self.pending.insert((j, k.clone()));
             }
             self.pending.insert((t, k));
         }
+        self.times_scratch = times_scratch;
 
         // Process every pending time that is now complete. Pending times
         // always lie in the current epoch (joins cannot exceed the max
@@ -122,12 +141,16 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
                 staging.push(((k.clone(), w), t, r));
             }
         }
-        self.output.emit(&staging);
+        self.output.emit(staging);
         Ok(())
     }
 
     fn has_queued(&self) -> bool {
-        !self.input.borrow().is_empty()
+        !self.input.is_empty()
+    }
+
+    fn has_internal_work(&self) -> bool {
+        !self.pending.is_empty()
     }
 
     fn pending_iter(&self, epoch: u64) -> Option<u32> {
@@ -157,8 +180,10 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
     fn collect_stats(&self, acc: &mut std::collections::BTreeMap<&'static str, crate::graph::OpStats>) {
         let e = acc.entry(self.name()).or_default();
         e.work += self.work;
-        e.queued += self.input.borrow().len();
+        e.queued += self.input.len();
         e.trace_records += self.in_trace.len() + self.out_trace.len();
+        e.trace_base_records += self.in_trace.base_len() + self.out_trace.base_len();
+        e.trace_recent_records += self.in_trace.recent_len() + self.out_trace.recent_len();
         e.pending += self.pending.len();
     }
 

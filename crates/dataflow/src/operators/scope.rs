@@ -8,12 +8,24 @@
 //! unprocessed interesting times) for the current epoch — the latter is
 //! what lets an incremental update "jump" directly to the iterations a
 //! change actually affects.
+//!
+//! Within each iteration, only *dirty* children (those whose input
+//! queues received records) and children holding internal pending work
+//! are stepped; the rest are skipped. Children are stepped in creation
+//! order, a topological order of the loop body (the feedback edge is
+//! the only back-edge, and its target — the delay node — is created
+//! first), so one pass per iteration still reaches everything a batch
+//! can affect.
+
+use std::rc::Rc;
 
 use crate::error::EvalError;
-use crate::graph::OpNode;
+use crate::graph::{OpNode, Scheduler};
 use crate::time::Time;
 
 pub(crate) struct ScopeNode {
+    slot: usize,
+    sched: Option<Rc<Scheduler>>,
     children: Vec<Box<dyn OpNode>>,
     max_iters: u32,
     /// Per-iteration digests of the feedback stream for the current
@@ -32,7 +44,13 @@ const DETECT_REPEATS: usize = 3;
 
 impl ScopeNode {
     pub fn new(children: Vec<Box<dyn OpNode>>, max_iters: u32) -> Self {
-        ScopeNode { children, max_iters, digests: Vec::new() }
+        ScopeNode {
+            slot: crate::graph::UNBOUND,
+            sched: None,
+            children,
+            max_iters,
+            digests: Vec::new(),
+        }
     }
 
     /// Detect a periodic feedback stream: the same multiset of loop
@@ -65,23 +83,41 @@ impl ScopeNode {
 }
 
 impl OpNode for ScopeNode {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        // Children were bound when they registered inside the scope;
+        // the scope only needs the scheduler handle to read their
+        // dirty flags.
+        self.slot = slot;
+        self.sched = Some(Rc::clone(sched));
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
     fn step(&mut self, now: Time) -> Result<(), EvalError> {
         debug_assert_eq!(now.iter, 0, "scope stepped at a non-zero iteration");
+        let sched = Rc::clone(self.sched.as_ref().expect("scope not bound"));
         let epoch = now.epoch;
         let mut iter = 0u32;
         self.digests.clear();
         loop {
             let t = Time::new(epoch, iter);
+            // Step only dirty-or-pending children; a skipped child
+            // contributes no feedback digest (it emitted nothing).
+            let mut digest = 0u64;
             for child in self.children.iter_mut() {
-                child.step(t)?;
+                let run = sched.take(child.slot()) || child.has_internal_work();
+                if run {
+                    child.step(t)?;
+                    if let Some(d) = child.step_digest() {
+                        digest = digest.wrapping_add(d);
+                    }
+                }
+                sched.count(run);
             }
             // Record this iteration's feedback digest for recurrence
             // detection (0 when the feedback stream is silent).
-            let digest = self
-                .children
-                .iter()
-                .filter_map(|c| c.step_digest())
-                .fold(0u64, |a, d| a.wrapping_add(d));
             self.digests.push(digest);
             if let Some(period) = self.recurring_period() {
                 return Err(EvalError::RecurringState { period, iteration: iter });
@@ -123,6 +159,15 @@ impl OpNode for ScopeNode {
 
     fn has_queued(&self) -> bool {
         self.children.iter().any(|c| c.has_queued())
+    }
+
+    fn has_internal_work(&self) -> bool {
+        // The scope has work iff some child does: either fresh input
+        // delivered from the enclosing level (dirty flag) or internal
+        // pending state. This is what lets `advance` skip the whole
+        // loop on epochs that do not touch it.
+        let sched = self.sched.as_ref().expect("scope not bound");
+        self.children.iter().any(|c| sched.is_dirty(c.slot()) || c.has_internal_work())
     }
 
     fn pending_iter(&self, epoch: u64) -> Option<u32> {

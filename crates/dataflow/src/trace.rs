@@ -5,6 +5,25 @@
 //! collection. Operators accumulate a key's state *as of* a timestamp by
 //! summing all differences at times `≤ t` in the product partial order;
 //! this is what makes corrections at time joins possible.
+//!
+//! # Two-layer spine
+//!
+//! Each key's history is split into two layers:
+//!
+//! * a **base** layer holding records folded to epoch 0 by
+//!   [`KeyTrace::compact`], kept consolidated and sorted by
+//!   `(value, iter)` — every base record's time is `(0, iter)`, which is
+//!   `≤` any accumulation time in every *epoch*, so only the iteration
+//!   component can affect comparisons;
+//! * a small **recent** layer of records pushed since the last
+//!   compaction, in arrival order.
+//!
+//! This keeps per-update work proportional to the *change*, not to the
+//! total history: [`KeyTrace::accumulate`] merges a cached base
+//! accumulation with the (small) recent layer instead of filtering,
+//! cloning and re-sorting the whole history, and compaction merges the
+//! recent layer into the already-sorted base in one linear pass instead
+//! of re-sorting every key.
 
 use std::collections::HashMap;
 
@@ -12,11 +31,157 @@ use crate::delta::{consolidate_values, Data, Diff};
 use crate::time::Time;
 use crate::util::FxHashMap;
 
-/// Per-key timestamped difference history.
+/// A cached full-base accumulation: `(generation, acc)`. Boxed so an
+/// uncached spine — the overwhelmingly common case, since only deep
+/// bases are cached — stays one pointer wide, keeping the per-key
+/// entries small in the trace's hash table.
+type BaseAccCache<V> = Option<Box<(u64, Vec<(V, Diff)>)>>;
+
+/// One key's two-layer difference history.
+struct KeySpine<V: Data> {
+    /// Records folded to epoch 0: consolidated (no duplicate
+    /// `(value, iter)` pairs, no zero diffs), sorted by `(value, iter)`.
+    base: Vec<(V, u32, Diff)>,
+    /// Records pushed since the last compaction, in arrival order.
+    recent: Vec<(V, Time, Diff)>,
+    /// Largest iteration present in `base` (0 when empty). Base
+    /// accumulations at any iteration `≥` this are identical, so they
+    /// can all be served from one cached entry.
+    max_base_iter: u32,
+    /// Cached accumulation of the *whole* base layer (the answer for
+    /// any iteration `≥ max_base_iter` — in particular for every
+    /// top-level, iteration-0 trace). Valid while the trace generation
+    /// matches: pushes land in the recent layer and never invalidate
+    /// it; only compaction does. Lookups below `max_base_iter` scan the
+    /// base directly instead of thrashing this entry.
+    cache: BaseAccCache<V>,
+}
+
+impl<V: Data> Default for KeySpine<V> {
+    fn default() -> Self {
+        KeySpine { base: Vec::new(), recent: Vec::new(), max_base_iter: 0, cache: None }
+    }
+}
+
+/// Base size below which accumulations scan directly instead of going
+/// through the per-key cache. For short histories the scan is a handful
+/// of comparisons, and skipping the cache avoids materializing (and
+/// cloning out of) a second copy of essentially the whole base.
+const CACHE_MIN_BASE: usize = 64;
+
+impl<V: Data> KeySpine<V> {
+    /// Accumulate the base layer as of iteration `iter` (base records
+    /// all live at epoch 0, so only the iteration matters), sum-merged
+    /// with `rec`, an already-consolidated value-sorted recent
+    /// contribution. The base is sorted by `(value, iter)`, so one pass
+    /// over the value runs produces sorted output — no sorting, and no
+    /// intermediate base-only accumulation.
+    fn scan_base_merged(&self, iter: u32, rec: &[(V, Diff)]) -> Vec<(V, Diff)> {
+        let mut acc: Vec<(V, Diff)> = Vec::new();
+        let mut j = 0;
+        let mut i = 0;
+        while i < self.base.len() {
+            let run = i;
+            let mut sum = 0;
+            while i < self.base.len() && self.base[i].0 == self.base[run].0 {
+                if self.base[i].1 <= iter {
+                    sum += self.base[i].2;
+                }
+                i += 1;
+            }
+            let v = &self.base[run].0;
+            while j < rec.len() && rec[j].0 < *v {
+                acc.push(rec[j].clone());
+                j += 1;
+            }
+            if j < rec.len() && rec[j].0 == *v {
+                sum += rec[j].1;
+                j += 1;
+            }
+            if sum != 0 {
+                acc.push((v.clone(), sum));
+            }
+        }
+        acc.extend_from_slice(&rec[j..]);
+        acc
+    }
+
+    /// Ensure the cache holds the whole-base accumulation for the
+    /// current trace generation.
+    fn refresh_cache(&mut self, generation: u64) {
+        if let Some(c) = &self.cache {
+            if c.0 == generation {
+                return;
+            }
+        }
+        self.cache =
+            Some(Box::new((generation, self.scan_base_merged(self.max_base_iter, &[]))));
+    }
+
+    /// Fold recent records at epochs `≤ frontier` down to `(0, iter)`
+    /// and merge them into the sorted base in one linear pass.
+    fn compact(&mut self, frontier: u64) {
+        self.cache = None;
+        // Drain foldable records while keeping `recent`'s storage (and
+        // the arrival order of what stays): post-compaction pushes
+        // reuse the capacity instead of regrowing every key from zero.
+        let mut fold: Vec<(V, u32, Diff)> = Vec::new();
+        self.recent.retain(|(v, t, r)| {
+            if t.epoch <= frontier {
+                fold.push((v.clone(), t.iter, *r));
+                false
+            } else {
+                true
+            }
+        });
+        if fold.is_empty() {
+            return;
+        }
+        fold.sort_unstable_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        // Merge the two sorted runs, summing equal (value, iter) pairs
+        // and dropping zeros. The base is never re-sorted.
+        let base = std::mem::take(&mut self.base);
+        let mut merged: Vec<(V, u32, Diff)> = Vec::with_capacity(base.len() + fold.len());
+        let push = |out: &mut Vec<(V, u32, Diff)>, rec: (V, u32, Diff)| {
+            if let Some(last) = out.last_mut() {
+                if last.0 == rec.0 && last.1 == rec.1 {
+                    last.2 += rec.2;
+                    if last.2 == 0 {
+                        out.pop();
+                    }
+                    return;
+                }
+            }
+            if rec.2 != 0 {
+                out.push(rec);
+            }
+        };
+        let mut a = base.into_iter().peekable();
+        let mut b = fold.into_iter().peekable();
+        loop {
+            let take_a = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => (&x.0, x.1) <= (&y.0, y.1),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let rec = if take_a { a.next().unwrap() } else { b.next().unwrap() };
+            push(&mut merged, rec);
+        }
+        self.base = merged;
+        self.max_base_iter = self.base.iter().map(|&(_, i, _)| i).max().unwrap_or(0);
+    }
+}
+
+/// Per-key timestamped difference history, stored as a two-layer spine.
 pub struct KeyTrace<K: Data, V: Data> {
-    entries: FxHashMap<K, Vec<(V, Time, Diff)>>,
-    /// Total records stored (approximate, pre-consolidation).
-    len: usize,
+    entries: FxHashMap<K, KeySpine<V>>,
+    /// Total records in the base layers.
+    base_len: usize,
+    /// Total records in the recent layers.
+    recent_len: usize,
+    /// Bumped by `compact`; tags base-accumulation cache entries.
+    generation: u64,
 }
 
 impl<K: Data, V: Data> Default for KeyTrace<K, V> {
@@ -27,101 +192,166 @@ impl<K: Data, V: Data> Default for KeyTrace<K, V> {
 
 impl<K: Data, V: Data> KeyTrace<K, V> {
     pub fn new() -> Self {
-        KeyTrace { entries: HashMap::default(), len: 0 }
+        KeyTrace { entries: HashMap::default(), base_len: 0, recent_len: 0, generation: 0 }
     }
 
-    /// Append one difference.
+    /// Append one difference (into the recent layer).
     pub fn push(&mut self, k: K, v: V, t: Time, r: Diff) {
         if r == 0 {
             return;
         }
-        self.entries.entry(k).or_default().push((v, t, r));
-        self.len += 1;
+        self.entries.entry(k).or_default().recent.push((v, t, r));
+        self.recent_len += 1;
     }
 
-    /// All differences recorded for `k`.
-    pub fn history(&self, k: &K) -> &[(V, Time, Diff)] {
-        self.entries.get(k).map(Vec::as_slice).unwrap_or(&[])
+    /// Iterate all differences recorded for `k`, base layer first.
+    /// Neither layer is materialized.
+    pub fn history<'a>(&'a self, k: &K) -> impl Iterator<Item = (&'a V, Time, Diff)> + 'a {
+        let spine = self.entries.get(k);
+        let base = spine.map(|s| s.base.as_slice()).unwrap_or(&[]);
+        let recent = spine.map(|s| s.recent.as_slice()).unwrap_or(&[]);
+        base.iter()
+            .map(|(v, i, r)| (v, Time::new(0, *i), *r))
+            .chain(recent.iter().map(|(v, t, r)| (v, *t, *r)))
     }
 
-    /// Accumulate `k`'s state as of `t` (product order), consolidated and
-    /// sorted by value.
-    pub fn accumulate(&self, k: &K, t: Time) -> Vec<(V, Diff)> {
-        let mut acc: Vec<(V, Diff)> = self
-            .history(k)
+    /// Accumulate `k`'s state as of `t` (product order), consolidated
+    /// and sorted by value. The base contribution needs no sorting: at
+    /// or above `max_base_iter` it is served from a generation-tagged
+    /// per-key cache (valid across pushes, dropped on compaction), and
+    /// below it a single pass over the value-sorted base suffices. The
+    /// (small) recent layer is merged on top.
+    pub fn accumulate(&mut self, k: &K, t: Time) -> Vec<(V, Diff)> {
+        let generation = self.generation;
+        let Some(spine) = self.entries.get_mut(k) else {
+            return Vec::new();
+        };
+        let mut rec: Vec<(V, Diff)> = spine
+            .recent
             .iter()
             .filter(|(_, u, _)| u.leq(t))
             .map(|(v, _, r)| (v.clone(), *r))
             .collect();
-        consolidate_values(&mut acc);
-        acc
+        consolidate_values(&mut rec);
+        if t.iter < spine.max_base_iter || spine.base.len() < CACHE_MIN_BASE {
+            return spine.scan_base_merged(t.iter, &rec);
+        }
+        spine.refresh_cache(generation);
+        let base_acc: &[(V, Diff)] =
+            spine.cache.as_ref().map(|c| c.1.as_slice()).unwrap_or(&[]);
+        if rec.is_empty() {
+            return base_acc.to_vec();
+        }
+        merge_accumulations(base_acc, &rec)
     }
 
-    /// The distinct timestamps at which `k` has recorded differences.
+    /// Visit every difference recorded for `k`, base layer first. Two
+    /// tight slice loops — the hot path under `join`, where each input
+    /// difference walks the other side's whole history.
+    pub fn for_each(&self, k: &K, mut f: impl FnMut(&V, Time, Diff)) {
+        if let Some(spine) = self.entries.get(k) {
+            for (v, i, r) in &spine.base {
+                f(v, Time::new(0, *i), *r);
+            }
+            for (v, t, r) in &spine.recent {
+                f(v, *t, *r);
+            }
+        }
+    }
+
+    /// The distinct timestamps at which `k` has recorded differences,
+    /// written into `out` (sorted, deduplicated). Reusing a caller-side
+    /// scratch buffer avoids a fresh allocation per lookup.
+    pub fn times_into(&self, k: &K, out: &mut Vec<Time>) {
+        out.clear();
+        if let Some(spine) = self.entries.get(k) {
+            out.extend(spine.base.iter().map(|&(_, i, _)| Time::new(0, i)));
+            out.extend(spine.recent.iter().map(|&(_, t, _)| t));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// [`KeyTrace::times_into`] returning a fresh `Vec`.
     pub fn times(&self, k: &K) -> Vec<Time> {
-        let mut ts: Vec<Time> =
-            self.history(k).iter().map(|&(_, t, _)| t).collect();
-        ts.sort_unstable();
-        ts.dedup();
+        let mut ts = Vec::new();
+        self.times_into(k, &mut ts);
         ts
     }
 
-    /// Number of stored difference records.
-    #[allow(dead_code)] // part of the trace API; exercised by tests
+    /// Number of stored difference records (both layers).
     pub fn len(&self) -> usize {
-        self.len
+        self.base_len + self.recent_len
     }
 
-    #[allow(dead_code)]
+    /// Records in the consolidated base layer.
+    pub fn base_len(&self) -> usize {
+        self.base_len
+    }
+
+    /// Records in the recent delta layer.
+    pub fn recent_len(&self) -> usize {
+        self.recent_len
+    }
+
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.len() == 0
     }
 
     /// Iterate over keys (arbitrary order).
-    #[allow(dead_code)]
+    #[allow(dead_code)] // part of the trace API; exercised by tests
     pub fn keys(&self) -> impl Iterator<Item = &K> {
         self.entries.keys()
     }
 
     /// Compact the trace below an epoch frontier: every record with
     /// `epoch ≤ frontier` is retimed to epoch 0 (keeping its iteration)
-    /// and merged. Sound because any future accumulation time has epoch
-    /// `> frontier`, so only the iteration component of old records can
-    /// affect comparisons.
+    /// and merged into the key's sorted base layer. Sound because any
+    /// future accumulation time has epoch `> frontier`, so only the
+    /// iteration component of old records can affect comparisons.
     pub fn compact(&mut self, frontier: u64) {
-        self.len = 0;
-        self.entries.retain(|_, hist| {
-            for rec in hist.iter_mut() {
-                if rec.1.epoch <= frontier {
-                    rec.1 = Time::new(0, rec.1.iter);
-                }
-            }
-            // Consolidate equal (value, time) runs.
-            hist.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
-            let mut write = 0;
-            let mut read = 0;
-            while read < hist.len() {
-                let mut end = read + 1;
-                let mut sum = hist[read].2;
-                while end < hist.len() && hist[end].0 == hist[read].0 && hist[end].1 == hist[read].1
-                {
-                    sum += hist[end].2;
-                    end += 1;
-                }
-                if sum != 0 {
-                    hist.swap(write, read);
-                    hist[write].2 = sum;
-                    write += 1;
-                }
-                read = end;
-            }
-            hist.truncate(write);
-            !hist.is_empty()
+        self.generation += 1;
+        let mut base_len = 0;
+        let mut recent_len = 0;
+        self.entries.retain(|_, spine| {
+            spine.compact(frontier);
+            base_len += spine.base.len();
+            recent_len += spine.recent.len();
+            !spine.base.is_empty() || !spine.recent.is_empty()
         });
-        for hist in self.entries.values() {
-            self.len += hist.len();
+        self.base_len = base_len;
+        self.recent_len = recent_len;
+    }
+}
+
+/// Sum-merge two consolidated, value-sorted accumulations, dropping
+/// zeros. Both inputs must be sorted by value with no duplicates.
+fn merge_accumulations<V: Data>(a: &[(V, Diff)], b: &[(V, Diff)]) -> Vec<(V, Diff)> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].0.cmp(&b[j].0) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let sum = a[i].1 + b[j].1;
+                if sum != 0 {
+                    out.push((a[i].0.clone(), sum));
+                }
+                i += 1;
+                j += 1;
+            }
         }
     }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 #[cfg(test)]
@@ -171,8 +401,11 @@ mod tests {
         tr.compact(3);
         assert_eq!(tr.accumulate(&"k", Time::new(9, 5)), before);
         assert_eq!(tr.accumulate(&"k", Time::new(9, 0)), before_low_iter);
-        // The cancelling pair was merged away.
+        // The cancelling pair was merged away; the survivor sits in the
+        // base layer.
         assert_eq!(tr.len(), 1);
+        assert_eq!(tr.base_len(), 1);
+        assert_eq!(tr.recent_len(), 0);
     }
 
     #[test]
@@ -183,5 +416,46 @@ mod tests {
         tr.compact(2);
         assert!(tr.is_empty());
         assert_eq!(tr.keys().count(), 0);
+    }
+
+    #[test]
+    fn compact_leaves_future_records_in_recent_layer() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(1, 0), 1);
+        tr.push("k", 2, Time::new(3, 0), 1);
+        tr.compact(2);
+        assert_eq!(tr.base_len(), 1);
+        assert_eq!(tr.recent_len(), 1);
+        assert_eq!(tr.accumulate(&"k", Time::new(3, 0)), vec![(1, 1), (2, 1)]);
+        assert_eq!(tr.times(&"k"), vec![Time::new(0, 0), Time::new(3, 0)]);
+    }
+
+    #[test]
+    fn accumulation_cache_survives_pushes() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        for e in 1..=4 {
+            tr.push("k", e as u32, Time::new(e, 0), 1);
+        }
+        tr.compact(4);
+        let base = tr.accumulate(&"k", Time::new(5, 0));
+        // A push after compaction must show up even though the base
+        // accumulation is cached.
+        tr.push("k", 99, Time::new(5, 0), 1);
+        let mut expect = base.clone();
+        expect.push((99, 1));
+        assert_eq!(tr.accumulate(&"k", Time::new(5, 0)), expect);
+        // At a later epoch the cached base is reused again.
+        assert_eq!(tr.accumulate(&"k", Time::new(6, 0)), expect);
+    }
+
+    #[test]
+    fn history_iterates_both_layers() {
+        let mut tr: KeyTrace<&str, u32> = KeyTrace::new();
+        tr.push("k", 1, Time::new(1, 0), 1);
+        tr.compact(1);
+        tr.push("k", 2, Time::new(2, 0), 1);
+        let hist: Vec<(u32, Time, Diff)> =
+            tr.history(&"k").map(|(v, t, r)| (*v, t, r)).collect();
+        assert_eq!(hist, vec![(1, Time::new(0, 0), 1), (2, Time::new(2, 0), 1)]);
     }
 }

@@ -1,0 +1,226 @@
+//! Two-layer spine soundness: for random interleavings of push,
+//! accumulate, times and compact — following the engine contract that
+//! epochs advance monotonically and pushes after `compact(f)` carry
+//! epochs `> f` — the spine trace must be observationally equal to a
+//! naive flat reference trace.
+//!
+//! Counterexamples found by the random suite are pinned as named
+//! regression tests at the bottom of this file.
+
+use proptest::prelude::*;
+use rc_dataflow::trace::KeyTrace;
+use rc_dataflow::{consolidate_values, Diff, Time};
+
+type K = u8;
+type V = u8;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push { key: K, value: V, iter: u32, diff: Diff },
+    Accumulate { key: K, iter: u32 },
+    Times { key: K },
+    AdvanceEpoch,
+    Compact,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0..4u8, 0..6u8, 0..4u32, -2isize..3).prop_map(|(key, value, iter, diff)| {
+                Op::Push { key, value, iter, diff }
+            }),
+            3 => (0..4u8, 0..5u32).prop_map(|(key, iter)| Op::Accumulate { key, iter }),
+            2 => (0..4u8).prop_map(|key| Op::Times { key }),
+            2 => Just(Op::AdvanceEpoch),
+            1 => Just(Op::Compact),
+        ],
+        1..60,
+    )
+}
+
+/// Flat reference trace: an unordered list of `(value, time, diff)`
+/// records per key, with every operation implemented by brute force.
+#[derive(Default)]
+struct NaiveTrace {
+    records: Vec<(K, V, Time, Diff)>,
+}
+
+impl NaiveTrace {
+    fn push(&mut self, k: K, v: V, t: Time, r: Diff) {
+        if r != 0 {
+            self.records.push((k, v, t, r));
+        }
+    }
+
+    fn accumulate(&self, k: K, t: Time) -> Vec<(V, Diff)> {
+        let mut acc: Vec<(V, Diff)> = self
+            .records
+            .iter()
+            .filter(|(key, _, u, _)| *key == k && u.leq(t))
+            .map(|(_, v, _, r)| (*v, *r))
+            .collect();
+        consolidate_values(&mut acc);
+        acc
+    }
+
+    fn times(&self, k: K) -> Vec<Time> {
+        let mut ts: Vec<Time> =
+            self.records.iter().filter(|(key, ..)| *key == k).map(|(_, _, t, _)| *t).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Mirror of spine compaction: records at epochs `≤ frontier` are
+    /// retimed to `(0, iter)` and consolidated per `(key, value, iter)`
+    /// (previously folded records are at epoch 0 and re-enter the fold).
+    fn compact(&mut self, frontier: u64) {
+        let mut folded: Vec<(K, V, u32, Diff)> = Vec::new();
+        let mut kept: Vec<(K, V, Time, Diff)> = Vec::new();
+        for (k, v, t, r) in self.records.drain(..) {
+            if t.epoch <= frontier {
+                folded.push((k, v, t.iter, r));
+            } else {
+                kept.push((k, v, t, r));
+            }
+        }
+        folded.sort_unstable();
+        let mut consolidated: Vec<(K, V, u32, Diff)> = Vec::new();
+        for (k, v, i, r) in folded {
+            match consolidated.last_mut() {
+                Some(last) if last.0 == k && last.1 == v && last.2 == i => {
+                    last.3 += r;
+                    if last.3 == 0 {
+                        consolidated.pop();
+                    }
+                }
+                _ => consolidated.push((k, v, i, r)),
+            }
+        }
+        self.records =
+            consolidated.into_iter().map(|(k, v, i, r)| (k, v, Time::new(0, i), r)).collect();
+        self.records.extend(kept);
+    }
+}
+
+/// Drive both traces through the op sequence, checking every
+/// observation; panics (via assert) on the first divergence so the same
+/// body serves proptest and the pinned regressions.
+fn check_spine_matches_naive(ops: &[Op]) {
+    let mut spine: KeyTrace<K, V> = KeyTrace::new();
+    let mut naive = NaiveTrace::default();
+    // Epoch 0 is reserved for the folded base; live pushes start at 1.
+    let mut epoch = 1u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Push { key, value, iter, diff } => {
+                let t = Time::new(epoch, iter);
+                spine.push(key, value, t, diff);
+                naive.push(key, value, t, diff);
+            }
+            Op::Accumulate { key, iter } => {
+                let t = Time::new(epoch, iter);
+                assert_eq!(
+                    spine.accumulate(&key, t),
+                    naive.accumulate(key, t),
+                    "accumulate({key}, {t:?}) diverged at step {step}"
+                );
+            }
+            Op::Times { key } => {
+                assert_eq!(
+                    spine.times(&key),
+                    naive.times(key),
+                    "times({key}) diverged at step {step}"
+                );
+            }
+            Op::AdvanceEpoch => epoch += 1,
+            Op::Compact => {
+                spine.compact(epoch);
+                naive.compact(epoch);
+                // Contract: pushes after compact(f) have epoch > f.
+                epoch += 1;
+                assert_eq!(
+                    spine.len(),
+                    naive.records.len(),
+                    "record count diverged after compact at step {step}"
+                );
+                assert_eq!(spine.recent_len(), 0, "recent layer nonempty after full compaction");
+            }
+        }
+    }
+    // Final sweep: every key, a deep and a shallow accumulation time.
+    for key in 0..4u8 {
+        for t in [Time::new(epoch, 0), Time::new(epoch, 8), Time::new(epoch + 1, 2)] {
+            assert_eq!(spine.accumulate(&key, t), naive.accumulate(key, t));
+        }
+        assert_eq!(spine.times(&key), naive.times(key));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spine_trace_matches_naive_reference(ops in arb_ops()) {
+        check_spine_matches_naive(&ops);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pinned regressions: shrunk inputs from development runs of the suite,
+// replayed deterministically through the same property body.
+// ---------------------------------------------------------------------
+
+/// A cancelling pair straddling a compaction: the fold must drop the
+/// zero-sum `(value, iter)` run from the base so `times` agrees.
+#[test]
+fn cancelling_pair_folds_to_empty_base() {
+    check_spine_matches_naive(&[
+        Op::Push { key: 0, value: 3, iter: 1, diff: 1 },
+        Op::AdvanceEpoch,
+        Op::Push { key: 0, value: 3, iter: 1, diff: -1 },
+        Op::Compact,
+        Op::Times { key: 0 },
+        Op::Accumulate { key: 0, iter: 2 },
+    ]);
+}
+
+/// A push after compaction must be visible through the generation-tagged
+/// accumulation cache (cache primed by the first accumulate).
+#[test]
+fn push_after_compaction_invalidates_nothing_it_should_not() {
+    check_spine_matches_naive(&[
+        Op::Push { key: 1, value: 2, iter: 0, diff: 2 },
+        Op::Compact,
+        Op::Accumulate { key: 1, iter: 0 },
+        Op::Push { key: 1, value: 5, iter: 0, diff: 1 },
+        Op::Accumulate { key: 1, iter: 0 },
+    ]);
+}
+
+/// Accumulating below the base's maximum iteration must not reuse the
+/// cache entry primed at a higher effective iteration.
+#[test]
+fn low_iter_accumulation_after_high_iter_cache_fill() {
+    check_spine_matches_naive(&[
+        Op::Push { key: 2, value: 1, iter: 0, diff: 1 },
+        Op::Push { key: 2, value: 4, iter: 3, diff: 1 },
+        Op::Compact,
+        Op::Accumulate { key: 2, iter: 4 },
+        Op::Accumulate { key: 2, iter: 0 },
+    ]);
+}
+
+/// Two compactions in a row: already-folded base records re-enter the
+/// second fold at epoch 0 and must merge, not duplicate.
+#[test]
+fn repeated_compaction_is_idempotent_on_the_base() {
+    check_spine_matches_naive(&[
+        Op::Push { key: 3, value: 0, iter: 2, diff: 1 },
+        Op::Compact,
+        Op::Push { key: 3, value: 0, iter: 2, diff: 1 },
+        Op::Compact,
+        Op::Accumulate { key: 3, iter: 2 },
+        Op::Times { key: 3 },
+    ]);
+}
