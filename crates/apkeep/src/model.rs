@@ -257,7 +257,18 @@ impl ApkModel {
 
     /// Apply one batch of rule updates under `order`, returning the
     /// batch summary with net affected ECs.
+    ///
+    /// Fault injection: `apply_batch` has no error channel, so an
+    /// error-mode `rc_faults` fault at this point escalates to a panic
+    /// (the verifier's panic containment converts it into an internal
+    /// error either way).
     pub fn apply_batch(&mut self, mut updates: Vec<RuleUpdate>, order: UpdateOrder) -> BatchSummary {
+        if rc_faults::fire(rc_faults::FaultPoint::ApkBatch) {
+            panic!(
+                "{} error at apkeep batch escalated to panic (no error channel)",
+                rc_faults::INJECTED_PANIC_PREFIX
+            );
+        }
         match order {
             UpdateOrder::InsertFirst => {
                 updates.sort_by_key(|u| !u.is_insert());

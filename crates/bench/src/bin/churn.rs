@@ -6,6 +6,12 @@
 //! the verifier has been running.
 //!
 //! Usage: `cargo run --release -p realconfig-bench --bin churn [-- --k 6 --changes 400]`
+//!
+//! `--fault-every N` additionally injects a deterministic fault
+//! (rotating across the three stage boundaries) into every Nth change
+//! and verifies through the self-healing
+//! [`RealConfig::apply_change_or_rebuild`] path, recording full-rebuild
+//! latency alongside the incremental percentiles.
 
 use std::time::{Duration, Instant};
 
@@ -26,8 +32,45 @@ struct ChurnResult {
     max_us: u128,
     first_quarter_mean_us: u128,
     last_quarter_mean_us: u128,
+    /// Fault-injection cadence (0: fault-free run).
+    fault_every: usize,
+    /// Self-healing full rebuilds triggered by injected faults.
+    rebuilds: u64,
+    /// Rebuild latency percentiles from the `verifier.rebuild_us`
+    /// histogram (0 when no rebuild happened).
+    rebuild_p50_us: u64,
+    rebuild_max_us: u64,
     /// Pipeline-wide telemetry at the end of the stream.
     metrics: realconfig::MetricsSnapshot,
+}
+
+/// One-shot fault plan for round `round`, rotating across the stage
+/// boundaries (stage 1 takes the error channel, stages 2 and 3 panic).
+fn rotating_fault(round: usize) -> rc_faults::FaultGuard {
+    let point = rc_faults::FaultPoint::ALL[round % rc_faults::FaultPoint::ALL.len()];
+    if point == rc_faults::FaultPoint::EngineApply {
+        rc_faults::FaultPlan::new().error_on(point, 1).install()
+    } else {
+        rc_faults::FaultPlan::new().panic_on(point, 1).install()
+    }
+}
+
+/// Silence the default panic hook for injected-fault panics only.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX));
+        if !injected {
+            default(info);
+        }
+    }));
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -35,7 +78,13 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[idx]
 }
 
-fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> ChurnResult {
+fn run_stream(
+    w: &Workload,
+    changes: usize,
+    compacting: bool,
+    seed: u64,
+    fault_every: usize,
+) -> ChurnResult {
     let (mut rc, _) = RealConfig::new(w.configs.clone()).expect("verifies");
     rc.set_auto_compact(if compacting { Some(1) } else { None });
     let mut rng = StdRng::seed_from_u64(seed);
@@ -45,7 +94,7 @@ fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> Chur
     // meaningful (fail only up links, restore only down ones).
     let mut down: Vec<(String, String)> = Vec::new();
 
-    for _ in 0..changes {
+    for i in 0..changes {
         let cs = if !down.is_empty() && (rng.gen_bool(0.5) || down.len() > 5) {
             let (dev, iface) = down.swap_remove(rng.gen_range(0..down.len()));
             ChangeSet { ops: vec![ChangeOp::EnableInterface { device: dev, iface }] }
@@ -57,9 +106,16 @@ fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> Chur
             down.push((dev.clone(), iface.clone()));
             ChangeSet::link_failure(&dev, &iface)
         };
-        let t = Instant::now();
-        rc.apply_change(&cs).expect("verifies");
-        lat.push(t.elapsed());
+        if fault_every > 0 && i % fault_every == 0 {
+            let _guard = rotating_fault(i / fault_every);
+            let t = Instant::now();
+            rc.apply_change_or_rebuild(&cs).expect("self-heals");
+            lat.push(t.elapsed());
+        } else {
+            let t = Instant::now();
+            rc.apply_change(&cs).expect("verifies");
+            lat.push(t.elapsed());
+        }
     }
 
     let quarter = lat.len() / 4;
@@ -68,6 +124,8 @@ fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> Chur
     };
     let (first, last) = (mean(&lat[..quarter]), mean(&lat[lat.len() - quarter..]));
     lat.sort();
+    let metrics = rc.metrics_snapshot();
+    let rebuild_hist = metrics.histograms.get("verifier.rebuild_us");
     ChurnResult {
         k: w.k,
         changes: lat.len(),
@@ -77,21 +135,33 @@ fn run_stream(w: &Workload, changes: usize, compacting: bool, seed: u64) -> Chur
         max_us: percentile(&lat, 1.0).as_micros(),
         first_quarter_mean_us: first,
         last_quarter_mean_us: last,
-        metrics: rc.metrics_snapshot(),
+        fault_every,
+        rebuilds: metrics.counters.get("verifier.rebuilds").copied().unwrap_or(0),
+        rebuild_p50_us: rebuild_hist.map_or(0, |h| h.p50),
+        rebuild_max_us: rebuild_hist.map_or(0, |h| h.max),
+        metrics,
     }
 }
 
 fn main() {
-    let (k, changes) = parse_args();
+    let (k, changes, fault_every) = parse_args();
     let w = Workload::fat_tree(k, ProtocolChoice::Ospf);
     println!(
-        "Churn stream: k={k} fat tree OSPF ({} devices), {changes} link fail/restore changes.\n",
-        w.topo.num_devices()
+        "Churn stream: k={k} fat tree OSPF ({} devices), {changes} link fail/restore changes{}.\n",
+        w.topo.num_devices(),
+        if fault_every > 0 {
+            format!(", injected fault every {fault_every} changes")
+        } else {
+            String::new()
+        }
     );
+    if fault_every > 0 {
+        quiet_injected_panics();
+    }
 
     let mut results = Vec::new();
     for compacting in [true, false] {
-        let r = run_stream(&w, changes, compacting, 0xFEED);
+        let r = run_stream(&w, changes, compacting, 0xFEED, fault_every);
         println!(
             "compaction {:>3}: p50 {:>8} p95 {:>8} max {:>8} | mean first-¼ {:>8} last-¼ {:>8}{}",
             if compacting { "on" } else { "off" },
@@ -106,6 +176,14 @@ fn main() {
                 ""
             }
         );
+        if fault_every > 0 {
+            println!(
+                "               {} self-healing rebuilds: p50 {} max {}",
+                r.rebuilds,
+                realconfig_bench::fmt_us(r.rebuild_p50_us as u128),
+                realconfig_bench::fmt_us(r.rebuild_max_us as u128),
+            );
+        }
         results.push(r);
     }
 
@@ -122,9 +200,10 @@ fn main() {
     println!("Raw results: bench_results/churn.json");
 }
 
-fn parse_args() -> (u32, usize) {
+fn parse_args() -> (u32, usize, usize) {
     let mut k = 6;
     let mut changes = 400;
+    let mut fault_every = 0;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -137,8 +216,14 @@ fn parse_args() -> (u32, usize) {
                 changes = args[i + 1].parse().expect("--changes N");
                 i += 2;
             }
-            other => panic!("unknown argument {other:?} (expected --k / --changes)"),
+            "--fault-every" => {
+                fault_every = args[i + 1].parse().expect("--fault-every N");
+                i += 2;
+            }
+            other => {
+                panic!("unknown argument {other:?} (expected --k / --changes / --fault-every)")
+            }
         }
     }
-    (k, changes)
+    (k, changes, fault_every)
 }

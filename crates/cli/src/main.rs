@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--metrics FILE]
-//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--metrics FILE]
+//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--metrics FILE]
 //! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]
 //! ```
 //!
@@ -14,7 +14,25 @@
 //! policy verdict changes; `trace` follows one packet through the
 //! current data plane. `--metrics FILE` dumps the pipeline-wide
 //! telemetry snapshot (per-operator dataflow work, EC model state,
-//! policy checker latencies) as JSON after the run.
+//! policy checker latencies) as JSON after the run — on failure, the
+//! snapshot-so-far is still written, for post-mortem inspection.
+//!
+//! `diff --recover` verifies the change with the self-healing path
+//! ([`RealConfig::apply_configs_or_rebuild`]): if the incremental
+//! pipeline fails mid-change, the new configurations are verified by a
+//! full rebuild instead and the report is flagged `recovered`.
+//!
+//! # Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | verified, all policies satisfied |
+//! | 1 | verified, at least one policy violated |
+//! | 2 | usage, I/O or configuration parse error |
+//! | 3 | control plane divergence |
+//! | 4 | internal pipeline failure (contained panic / poisoned verifier) |
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -33,7 +51,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]...\n  \
-                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json]\n  \
+                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover]\n  \
                  realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]"
             );
             return ExitCode::from(2);
@@ -43,16 +61,98 @@ fn main() -> ExitCode {
         Ok(violated) if violated => ExitCode::FAILURE,
         Ok(_) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            ExitCode::from(2)
+            eprintln!("error[{}]: {}", e.kind.label(), e.msg);
+            ExitCode::from(e.kind.exit_code())
         }
     }
 }
 
-type AnyError = Box<dyn std::error::Error>;
+/// What went wrong, mapped to the documented exit codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ErrorKind {
+    /// Bad arguments, unreadable files, configuration parse errors.
+    Parse,
+    /// The control plane failed to converge on the given configurations.
+    Divergence,
+    /// A pipeline stage failed internally (contained panic, poisoned
+    /// verifier).
+    Internal,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Divergence => "divergence",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Parse => 2,
+            ErrorKind::Divergence => 3,
+            ErrorKind::Internal => 4,
+        }
+    }
+}
+
+/// A CLI failure: a kind (for the exit code) plus a message for stderr.
+#[derive(Debug)]
+struct CliError {
+    kind: ErrorKind,
+    msg: String,
+}
+
+impl CliError {
+    fn parse(msg: impl Into<String>) -> Self {
+        CliError { kind: ErrorKind::Parse, msg: msg.into() }
+    }
+}
+
+impl From<realconfig::Error> for CliError {
+    fn from(e: realconfig::Error) -> Self {
+        let kind = match &e {
+            realconfig::Error::Parse(_) | realconfig::Error::Change(_) => ErrorKind::Parse,
+            realconfig::Error::Divergence(_) => ErrorKind::Divergence,
+            realconfig::Error::Internal(_) | realconfig::Error::Poisoned => ErrorKind::Internal,
+        };
+        CliError { kind, msg: e.to_string() }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::parse(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::parse(msg)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::parse(e.to_string())
+    }
+}
+
+impl From<std::num::ParseIntError> for CliError {
+    fn from(e: std::num::ParseIntError) -> Self {
+        CliError::parse(e.to_string())
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError { kind: ErrorKind::Internal, msg: format!("cannot serialize report: {e}") }
+    }
+}
 
 /// Load every `*.cfg` in a directory.
-fn load_dir(dir: &str) -> Result<BTreeMap<String, DeviceConfig>, AnyError> {
+fn load_dir(dir: &str) -> Result<BTreeMap<String, DeviceConfig>, CliError> {
     let mut configs = BTreeMap::new();
     let mut entries: Vec<_> = std::fs::read_dir(Path::new(dir))
         .map_err(|e| format!("cannot read {dir}: {e}"))?
@@ -63,7 +163,8 @@ fn load_dir(dir: &str) -> Result<BTreeMap<String, DeviceConfig>, AnyError> {
         if path.extension().and_then(|e| e.to_str()) != Some("cfg") {
             continue;
         }
-        let text = std::fs::read_to_string(&path)?;
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let cfg = parse_config(&text)
             .map_err(|e| format!("{}: {e}", path.display()))?;
         if cfg.hostname.is_empty() {
@@ -82,7 +183,7 @@ type PolicySpec = (String, String, String, Prefix, bool);
 
 /// Parse repeated `--policy reach:SRC:DST:PREFIX` /
 /// `--policy isolate:SRC:DST:PREFIX` flags.
-fn parse_policies(args: &[String]) -> Result<Vec<PolicySpec>, AnyError> {
+fn parse_policies(args: &[String]) -> Result<Vec<PolicySpec>, CliError> {
     let mut policies = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -114,7 +215,7 @@ fn parse_policies(args: &[String]) -> Result<Vec<PolicySpec>, AnyError> {
 fn register_policies(
     rc: &mut RealConfig,
     specs: &[PolicySpec],
-) -> Result<Vec<(String, realconfig::PolicyId)>, AnyError> {
+) -> Result<Vec<(String, realconfig::PolicyId)>, CliError> {
     let mut out = Vec::new();
     for (kind, src, dst, prefix, is_reach) in specs {
         let s = rc.node(src).ok_or_else(|| format!("unknown device {src:?}"))?;
@@ -132,7 +233,7 @@ fn register_policies(
 }
 
 /// Parse an optional `--metrics <path>` flag.
-fn parse_metrics_path(args: &[String]) -> Result<Option<String>, AnyError> {
+fn parse_metrics_path(args: &[String]) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == "--metrics") {
         Some(i) => {
             let path = args.get(i + 1).ok_or("--metrics needs a file path")?;
@@ -143,18 +244,28 @@ fn parse_metrics_path(args: &[String]) -> Result<Option<String>, AnyError> {
 }
 
 /// Write the verifier's telemetry snapshot as pretty JSON.
-fn dump_metrics(rc: &RealConfig, path: &str) -> Result<(), AnyError> {
+fn dump_metrics(rc: &RealConfig, path: &str) -> Result<(), CliError> {
     let json = serde_json::to_string_pretty(&rc.metrics_snapshot())?;
     std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
     Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<bool, AnyError> {
+/// Best-effort metrics dump on a failure path: never masks the original
+/// error, reports its own problems to stderr only.
+fn dump_metrics_on_failure(rc: &RealConfig, path: Option<&str>) {
+    if let Some(path) = path {
+        match dump_metrics(rc, path) {
+            Ok(()) => eprintln!("metrics-so-far written to {path}"),
+            Err(e) => eprintln!("warning: could not write metrics to {path}: {}", e.msg),
+        }
+    }
+}
+
+fn cmd_verify(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("verify needs a config directory")?;
     let configs = load_dir(dir)?;
     let n = configs.len();
-    let (mut rc, report) =
-        RealConfig::new(configs).map_err(|e| format!("verification failed: {e}"))?;
+    let (mut rc, report) = RealConfig::new(configs)?;
     println!("{n} devices verified.");
     println!("  data plane generation : {:?} ({} FIB entries)", report.dp_gen, report.fib_entries);
     println!("  model update          : {:?} ({} ECs, {} rules)", report.model_update, report.ecs, report.rules);
@@ -176,19 +287,35 @@ fn cmd_verify(args: &[String]) -> Result<bool, AnyError> {
     Ok(violated)
 }
 
-fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
+fn cmd_diff(args: &[String]) -> Result<bool, CliError> {
     let old_dir = args.first().ok_or("diff needs <old-dir> <new-dir>")?;
     let new_dir = args.get(1).ok_or("diff needs <old-dir> <new-dir>")?;
     let json = args.iter().any(|a| a == "--json");
+    let recover = args.iter().any(|a| a == "--recover");
+    let metrics_path = parse_metrics_path(args)?;
     let old = load_dir(old_dir)?;
     let new = load_dir(new_dir)?;
 
-    let (mut rc, _) =
-        RealConfig::new(old).map_err(|e| format!("old configs do not verify: {e}"))?;
+    let (mut rc, _) = match RealConfig::new(old) {
+        Ok(built) => built,
+        Err(e) => {
+            return Err(CliError { msg: format!("old configs do not verify: {e}"), ..e.into() })
+        }
+    };
     let policies = register_policies(&mut rc, &parse_policies(args)?)?;
 
-    let report =
-        rc.apply_configs(new).map_err(|e| format!("change verification failed: {e}"))?;
+    let applied = if recover {
+        rc.apply_configs_or_rebuild(new)
+    } else {
+        rc.apply_configs(new)
+    };
+    let report = match applied {
+        Ok(report) => report,
+        Err(e) => {
+            dump_metrics_on_failure(&rc, metrics_path.as_deref());
+            return Err(CliError { msg: format!("change verification failed: {e}"), ..e.into() });
+        }
+    };
     if json {
         println!("{}", serde_json::to_string_pretty(&report)?);
     } else {
@@ -196,6 +323,9 @@ fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
             "config lines +{}/−{}  →  {} fact changes",
             report.lines_inserted, report.lines_deleted, report.fact_changes
         );
+        if report.recovered {
+            println!("incremental path FAILED; verified by full rebuild (self-healing)");
+        }
         println!(
             "stage 1 (dp gen)      : {:?}, rules +{}/−{}",
             report.dp_gen, report.rules_inserted, report.rules_removed
@@ -226,8 +356,8 @@ fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
         };
         println!("policy {name}: {}{newly}", if ok { "SATISFIED" } else { "VIOLATED" });
     }
-    if let Some(path) = parse_metrics_path(args)? {
-        dump_metrics(&rc, &path)?;
+    if let Some(path) = &metrics_path {
+        dump_metrics(&rc, path)?;
         if !json {
             println!("metrics written to {path}");
         }
@@ -235,7 +365,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, AnyError> {
     Ok(violated)
 }
 
-fn cmd_trace(args: &[String]) -> Result<bool, AnyError> {
+fn cmd_trace(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("trace needs a config directory")?;
     let mut from = None;
     let mut dst = None;
@@ -268,7 +398,7 @@ fn cmd_trace(args: &[String]) -> Result<bool, AnyError> {
         dst.ok_or("trace needs --dst A.B.C.D")?.parse().map_err(|e| format!("{e}"))?;
 
     let configs = load_dir(dir)?;
-    let (rc, _) = RealConfig::new(configs).map_err(|e| format!("{e}"))?;
+    let (rc, _) = RealConfig::new(configs)?;
     let packet = Packet { dst_ip: dst.0, proto, dst_port: dport, ..Default::default() };
     let trace =
         rc.trace_packet(&from, packet).ok_or_else(|| format!("unknown device {from:?}"))?;
@@ -277,4 +407,31 @@ fn cmd_trace(args: &[String]) -> Result<bool, AnyError> {
         println!("warning: the packet can LOOP");
     }
     Ok(trace.delivered_at.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_follow_the_failure_model() {
+        assert_eq!(ErrorKind::Parse.exit_code(), 2);
+        assert_eq!(ErrorKind::Divergence.exit_code(), 3);
+        assert_eq!(ErrorKind::Internal.exit_code(), 4);
+    }
+
+    #[test]
+    fn verifier_errors_map_to_documented_exit_codes() {
+        let e: CliError = realconfig::Error::Internal("boom".into()).into();
+        assert_eq!(e.kind, ErrorKind::Internal);
+        let e: CliError = realconfig::Error::Poisoned.into();
+        assert_eq!(e.kind, ErrorKind::Internal);
+        let e: CliError = realconfig::Error::Divergence(
+            rc_dataflow::EvalError::Divergence { iterations: 1 },
+        )
+        .into();
+        assert_eq!(e.kind, ErrorKind::Divergence);
+        let e: CliError = "bad flag".into();
+        assert_eq!(e.kind, ErrorKind::Parse);
+    }
 }

@@ -47,6 +47,8 @@
 //! assert_eq!(report.newly_violated, vec![policy.0]);
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 mod convert;
 mod report;
 mod trace;

@@ -20,6 +20,21 @@ use crate::convert::{filter_rule, FibGrouper};
 use crate::report::{ChangeReport, FullReport};
 
 /// Verifier errors.
+///
+/// # Failure model
+///
+/// Every variant leaves the *observable* verifier state — configs,
+/// facts, warnings, FIB, policy verdicts — at the last good set (the
+/// failed change is never committed). The variants differ in whether
+/// the *internal* pipeline state survived:
+///
+/// - [`Error::Parse`] and [`Error::Change`] fail before the pipeline
+///   runs: nothing happened, keep applying changes.
+/// - [`Error::Divergence`] and [`Error::Internal`] poison the verifier:
+///   the incremental engines may hold partial results of the failed
+///   change. [`RealConfig::needs_rebuild`] reports this state, and
+///   [`RealConfig::rebuild`] (or the automatic
+///   [`RealConfig::apply_configs_or_rebuild`]) recovers from it.
 #[derive(Debug)]
 pub enum Error {
     /// A configuration failed to parse.
@@ -27,9 +42,17 @@ pub enum Error {
     /// A change operation could not be applied (the verifier state is
     /// unchanged).
     Change(ChangeError),
-    /// The control plane failed to converge. The verifier's internal
-    /// state is poisoned — rebuild it from the last good configurations.
+    /// The control plane failed to converge. The verifier is poisoned —
+    /// call [`RealConfig::rebuild`] to recover in place.
     Divergence(rc_dataflow::EvalError),
+    /// A pipeline stage panicked mid-change (a bug, or an injected
+    /// fault). The panic was contained; the verifier is poisoned — call
+    /// [`RealConfig::rebuild`] to recover in place.
+    Internal(String),
+    /// The verifier is poisoned by an earlier [`Error::Divergence`] or
+    /// [`Error::Internal`] and cannot verify changes until
+    /// [`RealConfig::rebuild`] succeeds.
+    Poisoned,
 }
 
 impl std::fmt::Display for Error {
@@ -38,6 +61,12 @@ impl std::fmt::Display for Error {
             Error::Parse(e) => write!(f, "parse error: {e}"),
             Error::Change(e) => write!(f, "change error: {e}"),
             Error::Divergence(e) => write!(f, "control plane divergence: {e}"),
+            Error::Internal(msg) => write!(f, "internal pipeline failure: {msg}"),
+            Error::Poisoned => write!(
+                f,
+                "verifier is poisoned by an earlier failure; rebuild() it from the \
+                 last good configurations"
+            ),
         }
     }
 }
@@ -81,6 +110,22 @@ pub struct RealConfig {
     changes_since_compact: u32,
     /// Shared metric registry for all three pipeline stages.
     telemetry: rc_telemetry::Telemetry,
+    /// Set when a failure may have left the incremental engines holding
+    /// partial results of a rejected change (see [`Error`]). While set,
+    /// applies are refused with [`Error::Poisoned`] until
+    /// [`RealConfig::rebuild`] succeeds.
+    poisoned: bool,
+}
+
+/// Extract a human-readable message from a contained panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "pipeline stage panicked (non-string payload)".to_string()
+    }
 }
 
 impl RealConfig {
@@ -109,6 +154,7 @@ impl RealConfig {
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
             telemetry: rc_telemetry::Telemetry::new(),
+            poisoned: false,
         };
         rc.engine.set_telemetry(rc.telemetry.clone());
         rc.model.set_telemetry(&rc.telemetry);
@@ -190,45 +236,108 @@ impl RealConfig {
 
     /// Verify a configuration change incrementally. On success the
     /// change is committed; on failure the configurations are left
-    /// untouched (but see [`Error::Divergence`]).
+    /// untouched (see [`Error`] for the poisoning contract).
     pub fn apply_change(&mut self, cs: &ChangeSet) -> Result<ChangeReport, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
         let mut new_configs = self.configs.clone();
-        cs.apply(&mut new_configs)?;
+        if let Err(e) = cs.apply(&mut new_configs) {
+            // Nothing ran: a pure rollback (the cheapest kind).
+            self.telemetry.counter("verifier.rollbacks").incr();
+            return Err(Error::Change(e));
+        }
         self.apply_configs(new_configs)
+    }
+
+    /// [`RealConfig::apply_change`] with the self-healing fallback of
+    /// [`RealConfig::apply_configs_or_rebuild`].
+    pub fn apply_change_or_rebuild(&mut self, cs: &ChangeSet) -> Result<ChangeReport, Error> {
+        if self.poisoned {
+            self.rebuild()?;
+        }
+        let mut new_configs = self.configs.clone();
+        if let Err(e) = cs.apply(&mut new_configs) {
+            self.telemetry.counter("verifier.rollbacks").incr();
+            return Err(Error::Change(e));
+        }
+        self.apply_configs_or_rebuild(new_configs)
     }
 
     /// Verify a transition to an arbitrary new configuration set
     /// incrementally — e.g., files an operator edited by hand. Devices
     /// may be added or removed; whatever differs is derived from the
     /// fact delta, exactly as for [`RealConfig::apply_change`].
+    ///
+    /// # Transaction contract
+    ///
+    /// The three-stage pipeline runs as a transaction: no verifier
+    /// field (`configs`, `facts`, `warnings`, device set, checker link
+    /// map, FIB grouper, policy verdicts) is committed until all three
+    /// stages succeed. On any failure — an `Err` from a stage or a
+    /// contained panic — the observable state rolls back to the
+    /// pre-change snapshot. Failures raised after stage 1 started
+    /// mutating the incremental engines additionally poison the
+    /// verifier (see [`Error`] and [`RealConfig::rebuild`]).
+    ///
+    /// The only pre-transaction mutation is name interning into the
+    /// shared registry while lowering the *candidate* configurations:
+    /// the registry is append-only (existing ids never change meaning),
+    /// so a failed change can at worst leave unused names interned —
+    /// benign, and invisible through every accessor.
     pub fn apply_configs(
         &mut self,
         new_configs: BTreeMap<String, DeviceConfig>,
     ) -> Result<ChangeReport, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        // Snapshot the cheap rollback-able state. The heavy engine /
+        // model / checker state is deliberately *not* snapshotted
+        // (cloning a dataflow trace per change would dwarf the
+        // incremental work); failures after stage 1 begins poison the
+        // verifier and recovery goes through `rebuild()` instead.
+        let devices_snap = self.devices.clone();
+        let grouper_snap = self.grouper.clone();
+        let verdicts_snap = self.checker.verdicts();
+
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.apply_configs_txn(new_configs)
+        }));
+        let err = match outcome {
+            Ok(Ok(report)) => return Ok(report),
+            Ok(Err(e)) => e,
+            Err(payload) => Error::Internal(panic_message(payload.as_ref())),
+        };
+
+        // Roll back: the commit point was never reached, so configs /
+        // facts / warnings are untouched; restore what the stages
+        // touched along the way.
+        self.devices = devices_snap;
+        self.grouper = grouper_snap;
+        self.checker.set_nodes(self.devices.iter().copied());
+        self.checker.restore_verdicts(&verdicts_snap);
+        self.telemetry.counter("verifier.rollbacks").incr();
+        if matches!(err, Error::Divergence(_) | Error::Internal(_)) {
+            self.poisoned = true;
+            self.telemetry.counter("verifier.poison_events").incr();
+        }
+        Err(err)
+    }
+
+    /// The transaction body: all three stages, then the commit point.
+    /// Mutates heavy pipeline state as it goes; `apply_configs` owns
+    /// rollback and poisoning.
+    fn apply_configs_txn(
+        &mut self,
+        new_configs: BTreeMap<String, DeviceConfig>,
+    ) -> Result<ChangeReport, Error> {
         let mut report = ChangeReport::default();
+        self.diff_config_lines(&new_configs, &mut report);
 
-        // Textual view of the change (the paper's "insertions or
-        // deletions of configuration lines"). Added or removed devices
-        // diff against an empty configuration.
-        let empty = String::new();
-        for (name, new_cfg) in &new_configs {
-            let old_text =
-                self.configs.get(name).map(print_config).unwrap_or_else(|| empty.clone());
-            let new_text = print_config(new_cfg);
-            if old_text != new_text {
-                let d = diff_lines(&old_text, &new_text);
-                report.lines_inserted += d.insertions();
-                report.lines_deleted += d.deletions();
-            }
-        }
-        for (name, old_cfg) in &self.configs {
-            if !new_configs.contains_key(name) {
-                let d = diff_lines(&print_config(old_cfg), &empty);
-                report.lines_deleted += d.deletions();
-            }
-        }
-
-        // Semantic view: fact delta.
+        // Semantic view: fact delta. (Lowering interns names into the
+        // shared registry — the benign pre-transaction mutation
+        // documented on `apply_configs`.)
         let lowered = lower(&new_configs, &mut self.registry);
         let new_warnings: BTreeSet<String> =
             lowered.warnings.iter().map(|w| w.to_string()).collect();
@@ -236,16 +345,13 @@ impl RealConfig {
         let delta = fact_delta(&self.facts, &lowered.facts);
         report.fact_changes = delta.len();
 
-        // Stage 1: incremental data plane generation.
+        // Stage 1: incremental data plane generation. First heavy
+        // mutation — an `Err` from here on poisons.
         let t = Instant::now();
         let stats = self.engine.apply(delta.iter().cloned())?;
         report.dp_gen = t.elapsed();
         report.dp_records = stats.records;
 
-        // Commit configuration state (the engine is already committed).
-        self.configs = new_configs;
-        self.facts = lowered.facts;
-        self.warnings = new_warnings;
         let touched = self.sync_structure_from_delta(&delta);
 
         // Stage 2: incremental model update.
@@ -274,7 +380,8 @@ impl RealConfig {
         report.newly_satisfied = check.newly_satisfied.iter().map(|p| p.0).collect();
 
         // Periodic history compaction keeps long change streams flat
-        // (see the `churn` benchmark).
+        // (see the `churn` benchmark). Still pre-commit: a failure here
+        // must not leave new configs committed.
         self.changes_since_compact += 1;
         if let Some(every) = self.auto_compact {
             if self.changes_since_compact >= every {
@@ -283,8 +390,211 @@ impl RealConfig {
             }
         }
 
+        // Commit point: all three stages succeeded.
+        self.configs = new_configs;
+        self.facts = lowered.facts;
+        self.warnings = new_warnings;
+
         report.metrics = self.telemetry.snapshot();
         Ok(report)
+    }
+
+    /// Textual view of a candidate change (the paper's "insertions or
+    /// deletions of configuration lines"). Added or removed devices
+    /// diff against an empty configuration. Read-only.
+    fn diff_config_lines(
+        &self,
+        new_configs: &BTreeMap<String, DeviceConfig>,
+        report: &mut ChangeReport,
+    ) {
+        let empty = String::new();
+        for (name, new_cfg) in new_configs {
+            let old_text =
+                self.configs.get(name).map(print_config).unwrap_or_else(|| empty.clone());
+            let new_text = print_config(new_cfg);
+            if old_text != new_text {
+                let d = diff_lines(&old_text, &new_text);
+                report.lines_inserted += d.insertions();
+                report.lines_deleted += d.deletions();
+            }
+        }
+        for (name, old_cfg) in &self.configs {
+            if !new_configs.contains_key(name) {
+                let d = diff_lines(&print_config(old_cfg), &empty);
+                report.lines_deleted += d.deletions();
+            }
+        }
+    }
+
+    /// Verify a transition with the self-healing fallback: try the
+    /// incremental path, and on any failure fall back to verifying the
+    /// new configurations from scratch (policies and their satisfaction
+    /// history carry over, so the report's verdict deltas stay
+    /// correct). If even the from-scratch build rejects the new
+    /// configurations (e.g. they genuinely diverge), the verifier heals
+    /// itself back to the last good configurations and surfaces the
+    /// incremental error — in every case the verifier ends the call
+    /// un-poisoned unless recovery itself failed twice.
+    pub fn apply_configs_or_rebuild(
+        &mut self,
+        new_configs: BTreeMap<String, DeviceConfig>,
+    ) -> Result<ChangeReport, Error> {
+        if self.poisoned {
+            self.rebuild()?;
+        }
+        let first = match self.apply_configs(new_configs.clone()) {
+            Ok(report) => return Ok(report),
+            Err(e) => e,
+        };
+
+        // The incremental path failed and rolled back; verify the new
+        // configurations from scratch instead.
+        let mut report = ChangeReport { recovered: true, ..Default::default() };
+        self.diff_config_lines(&new_configs, &mut report);
+        let old_warnings = self.warnings.clone();
+        let lowered = lower(&new_configs, &mut self.registry);
+        report.fact_changes = fact_delta(&self.facts, &lowered.facts).len();
+
+        let rebuilt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.rebuild_from(new_configs)
+        }));
+        match rebuilt {
+            Ok(Ok((full, check))) => {
+                self.telemetry.counter("verifier.recoveries").incr();
+                report.dp_gen = full.dp_gen;
+                report.dp_records = full.dp_records;
+                report.model_update = full.model_update;
+                report.policy_check = full.policy_check;
+                report.total_pairs = check.total_pairs;
+                report.policies_checked = check.policies_checked;
+                report.newly_violated = check.newly_violated.iter().map(|p| p.0).collect();
+                report.newly_satisfied = check.newly_satisfied.iter().map(|p| p.0).collect();
+                report.warnings =
+                    self.warnings.difference(&old_warnings).cloned().collect();
+                report.metrics = self.telemetry.snapshot();
+                Ok(report)
+            }
+            // The new configurations do not verify even from scratch.
+            // Heal back to the last good set and surface the
+            // incremental failure.
+            _ => {
+                if self.poisoned {
+                    let _ = self.rebuild();
+                }
+                Err(first)
+            }
+        }
+    }
+
+    /// Whether the verifier is poisoned and must be rebuilt before it
+    /// can verify further changes (see [`Error`]).
+    pub fn needs_rebuild(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Rebuild the whole incremental pipeline from the last good
+    /// configurations — the recovery path after [`Error::Divergence`]
+    /// or [`Error::Internal`]. Registered policies and their
+    /// satisfaction history are preserved, so verdict deltas of
+    /// subsequent changes remain correct. On success the verifier is
+    /// un-poisoned and exactly equivalent to a fresh
+    /// [`RealConfig::new`] over the same configurations.
+    pub fn rebuild(&mut self) -> Result<FullReport, Error> {
+        let configs = self.configs.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.rebuild_from(configs)
+        }));
+        match outcome {
+            Ok(Ok((report, _check))) => Ok(report),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(Error::Internal(panic_message(payload.as_ref()))),
+        }
+    }
+
+    /// Build a fresh pipeline over `configs` and commit it wholesale.
+    /// Nothing is committed on failure: the verifier keeps its previous
+    /// (possibly poisoned) state.
+    fn rebuild_from(
+        &mut self,
+        configs: BTreeMap<String, DeviceConfig>,
+    ) -> Result<(FullReport, rc_policy::CheckReport), Error> {
+        let t0 = Instant::now();
+        let mut report = FullReport::default();
+
+        let mut engine = RoutingEngine::new();
+        engine.set_telemetry(self.telemetry.clone());
+        let mut model = ApkModel::new();
+        model.set_telemetry(&self.telemetry);
+        let mut checker = PolicyChecker::new();
+        checker.set_telemetry(&self.telemetry);
+        let mut grouper = FibGrouper::default();
+
+        let lowered = lower(&configs, &mut self.registry);
+        let warnings: BTreeSet<String> =
+            lowered.warnings.iter().map(|w| w.to_string()).collect();
+        report.warnings = warnings.iter().cloned().collect();
+
+        let t = Instant::now();
+        let stats = engine.apply(lowered.facts.iter().map(|f| (f.clone(), 1)))?;
+        report.dp_gen = t.elapsed();
+        report.dp_records = stats.records;
+
+        // Device set and checker link map from the full fact set.
+        let mut devices = BTreeSet::new();
+        let mut link_delta: Vec<(Port, Port, isize)> = Vec::new();
+        for f in &lowered.facts {
+            match f {
+                Fact::Device(n) => {
+                    devices.insert(*n);
+                }
+                Fact::Link { src, dst } => link_delta.push((*src, *dst, 1)),
+                _ => {}
+            }
+        }
+        checker.set_nodes(devices.iter().copied());
+        checker.apply_link_delta(&link_delta);
+
+        let t = Instant::now();
+        let mut updates = grouper.convert(engine.fib_delta());
+        let (fins, _frem) = engine.filter_delta();
+        updates.extend(fins.iter().map(|f| RuleUpdate::Insert(filter_rule(f))));
+        let summary = model.apply_batch(updates, self.update_order);
+        report.model_update = t.elapsed();
+        report.fib_entries = engine.fib().len();
+        report.rules = model.num_rules();
+        report.ecs = model.num_ecs();
+        let _ = summary;
+
+        // Re-register the policies in id order with their pre-failure
+        // verdicts, so the check below reports newly-violated /
+        // newly-satisfied relative to what the caller last saw.
+        for (policy, satisfied) in self.checker.policy_specs() {
+            let id = checker.add_policy(&mut model, policy);
+            checker.restore_verdict(id, satisfied);
+        }
+        let t = Instant::now();
+        let check = checker.check_full(&mut model);
+        report.policy_check = t.elapsed();
+        report.pairs = check.total_pairs;
+        report.violated = check.newly_violated.iter().map(|p| p.0).collect();
+
+        // Commit the rebuilt pipeline wholesale.
+        self.engine = engine;
+        self.model = model;
+        self.checker = checker;
+        self.grouper = grouper;
+        self.configs = configs;
+        self.facts = lowered.facts;
+        self.warnings = warnings;
+        self.devices = devices;
+        self.changes_since_compact = 0;
+        self.poisoned = false;
+        self.telemetry.counter("verifier.rebuilds").incr();
+        self.telemetry
+            .histogram("verifier.rebuild_us")
+            .record(t0.elapsed().as_micros() as u64);
+        report.metrics = self.telemetry.snapshot();
+        Ok((report, check))
     }
 
     /// Register a policy (by device ids; see [`RealConfig::node`]).
@@ -365,6 +675,11 @@ impl RealConfig {
     /// Current input fact set (for external oracles).
     pub fn facts(&self) -> &BTreeSet<Fact> {
         &self.facts
+    }
+
+    /// Current lowering warnings (formatted, deduplicated).
+    pub fn warnings(&self) -> &BTreeSet<String> {
+        &self.warnings
     }
 
     /// Interface name for an interned id.

@@ -24,6 +24,11 @@ pub enum EvalError {
         /// The iteration at which the recurrence was confirmed.
         iteration: u32,
     },
+    /// A deterministic fault injected through `rc_faults` (recovery
+    /// testing). Raised *before* the engine ingests the epoch's input,
+    /// so — unlike a genuine divergence — the dataflow state is still
+    /// exactly what it was before the failed apply.
+    InjectedFault,
 }
 
 impl std::fmt::Display for EvalError {
@@ -39,6 +44,9 @@ impl std::fmt::Display for EvalError {
                 "iterative computation revisited a previous state at iteration {iteration} \
                  (oscillation with period {period}) — the control plane cannot converge"
             ),
+            EvalError::InjectedFault => {
+                write!(f, "injected fault (deterministic fault-injection testing)")
+            }
         }
     }
 }

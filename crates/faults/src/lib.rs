@@ -1,0 +1,293 @@
+//! Deterministic fault injection for the RealConfig pipeline.
+//!
+//! The verifier's recovery machinery (transactional apply, poisoning,
+//! the full-rebuild fallback — see `realconfig::RealConfig`) is only
+//! trustworthy if every failure path can be exercised on demand. This
+//! crate provides the substrate: a thread-local [`FaultPlan`] naming
+//! *where* (a [`FaultPoint`] — one per pipeline stage boundary), *when*
+//! (the Nth time that point is reached) and *how* (return an error, or
+//! panic) a fault fires.
+//!
+//! The hooks are `#[cfg]`-free runtime checks compiled into the
+//! production binaries: with no plan installed, [`fire`] is a
+//! thread-local load and an `Option` test — far below the noise floor
+//! of the stages it guards. Tests install a plan (ideally through the
+//! RAII [`FaultGuard`]), drive the verifier, and get byte-for-byte
+//! reproducible failures.
+//!
+//! Fault plans are strictly thread-local: concurrent verifiers on other
+//! threads are never affected, and `cargo test`'s default parallelism
+//! is safe.
+//!
+//! # Example
+//!
+//! ```
+//! use rc_faults::{FaultPlan, FaultPoint};
+//!
+//! // Fail the second engine apply with an error, panic in the first
+//! // policy check.
+//! let _guard = FaultPlan::new()
+//!     .error_on(FaultPoint::EngineApply, 2)
+//!     .panic_on(FaultPoint::PolicyCheck, 1)
+//!     .install();
+//! assert!(!rc_faults::fire(FaultPoint::EngineApply)); // 1st: passes
+//! assert!(rc_faults::fire(FaultPoint::EngineApply)); // 2nd: fires
+//! assert!(!rc_faults::fire(FaultPoint::EngineApply)); // one-shot
+//! ```
+
+use std::cell::RefCell;
+use std::fmt;
+
+/// An instrumented point in the verification pipeline. One per stage
+/// boundary of the paper's three-stage pipeline.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FaultPoint {
+    /// Entry of `RoutingEngine::apply` (stage 1, incremental data plane
+    /// generation). Fires *before* the engine ingests the fact delta,
+    /// so an injected error models a divergence detected with the
+    /// engine's own state still untouched.
+    EngineApply,
+    /// Entry of `ApkModel::apply_batch` (stage 2, incremental data
+    /// plane model update). Stage 1 has already committed its delta
+    /// when this fires.
+    ApkBatch,
+    /// Entry of `PolicyChecker::check_incremental` (stage 3,
+    /// incremental policy checking). Stages 1 and 2 have committed.
+    PolicyCheck,
+}
+
+impl FaultPoint {
+    /// All instrumented points, pipeline order.
+    pub const ALL: [FaultPoint; 3] =
+        [FaultPoint::EngineApply, FaultPoint::ApkBatch, FaultPoint::PolicyCheck];
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::EngineApply => 0,
+            FaultPoint::ApkBatch => 1,
+            FaultPoint::PolicyCheck => 2,
+        }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPoint::EngineApply => write!(f, "engine apply (stage 1)"),
+            FaultPoint::ApkBatch => write!(f, "apkeep batch (stage 2)"),
+            FaultPoint::PolicyCheck => write!(f, "policy check (stage 3)"),
+        }
+    }
+}
+
+/// How an injected fault manifests.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultMode {
+    /// [`fire`] returns `true`; the instrumented stage surfaces its
+    /// error-channel failure (the routing engine returns a divergence
+    /// error). At points with no error channel (stages 2 and 3 return
+    /// plain reports), the stage escalates to a panic — the verifier's
+    /// panic containment must handle it either way.
+    Error,
+    /// [`fire`] panics with a recognizable `"injected fault: …"`
+    /// message.
+    Panic,
+}
+
+/// Marker prefix of every injected panic message, so test panic hooks
+/// can tell injected faults from genuine bugs.
+pub const INJECTED_PANIC_PREFIX: &str = "injected fault:";
+
+#[derive(Clone, Debug)]
+struct Spec {
+    point: FaultPoint,
+    nth: u64,
+    mode: FaultMode,
+    fired: bool,
+}
+
+/// A deterministic schedule of faults: each entry fires exactly once,
+/// the Nth time its point is reached after [`FaultPlan::install`] (or
+/// [`install`]). Counts are per-point and 1-based.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    specs: Vec<Spec>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fire an error-mode fault the `nth` time `point` is reached.
+    pub fn error_on(mut self, point: FaultPoint, nth: u64) -> Self {
+        self.specs.push(Spec { point, nth, mode: FaultMode::Error, fired: false });
+        self
+    }
+
+    /// Fire a panic the `nth` time `point` is reached.
+    pub fn panic_on(mut self, point: FaultPoint, nth: u64) -> Self {
+        self.specs.push(Spec { point, nth, mode: FaultMode::Panic, fired: false });
+        self
+    }
+
+    /// Fire a fault of `mode` the `nth` time `point` is reached.
+    pub fn fault_on(mut self, point: FaultPoint, nth: u64, mode: FaultMode) -> Self {
+        self.specs.push(Spec { point, nth, mode, fired: false });
+        self
+    }
+
+    /// Install this plan on the current thread, replacing any previous
+    /// plan and resetting all hit counters. Returns an RAII guard that
+    /// clears the plan when dropped.
+    pub fn install(self) -> FaultGuard {
+        install(self);
+        FaultGuard { _private: () }
+    }
+}
+
+/// Clears the thread's fault plan on drop.
+#[must_use = "dropping the guard immediately clears the plan"]
+pub struct FaultGuard {
+    _private: (),
+}
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+struct Active {
+    plan: FaultPlan,
+    hits: [u64; 3],
+    injected: u64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+}
+
+/// Install `plan` on the current thread (see [`FaultPlan::install`] for
+/// the RAII variant). Resets hit and injection counters.
+pub fn install(plan: FaultPlan) {
+    ACTIVE.with(|a| *a.borrow_mut() = Some(Active { plan, hits: [0; 3], injected: 0 }));
+}
+
+/// Remove the current thread's fault plan, if any.
+pub fn clear() {
+    ACTIVE.with(|a| *a.borrow_mut() = None);
+}
+
+/// Whether a plan is installed on this thread.
+pub fn is_active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Faults injected (fired) since the plan was installed.
+pub fn injected_count() -> u64 {
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |act| act.injected))
+}
+
+/// Times `point` has been reached since the plan was installed.
+pub fn hit_count(point: FaultPoint) -> u64 {
+    ACTIVE.with(|a| a.borrow().as_ref().map_or(0, |act| act.hits[point.index()]))
+}
+
+/// The pipeline hook. Instrumented stages call this at their entry:
+/// returns `true` when an error-mode fault fires (the stage must
+/// surface an error), panics for panic-mode faults, and returns `false`
+/// — at the cost of one thread-local read — otherwise.
+pub fn fire(point: FaultPoint) -> bool {
+    ACTIVE.with(|a| {
+        let mut borrow = a.borrow_mut();
+        let Some(act) = borrow.as_mut() else { return false };
+        let idx = point.index();
+        act.hits[idx] += 1;
+        let n = act.hits[idx];
+        for spec in &mut act.plan.specs {
+            if !spec.fired && spec.point == point && spec.nth == n {
+                spec.fired = true;
+                act.injected += 1;
+                match spec.mode {
+                    FaultMode::Error => return true,
+                    FaultMode::Panic => {
+                        // Release the borrow before unwinding so a
+                        // catch_unwind-ed caller can keep using the
+                        // thread-local.
+                        drop(borrow);
+                        panic!("{INJECTED_PANIC_PREFIX} panic at {point} (occurrence {n})");
+                    }
+                }
+            }
+        }
+        false
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_plan_never_fires() {
+        clear();
+        assert!(!fire(FaultPoint::EngineApply));
+        assert!(!is_active());
+        assert_eq!(injected_count(), 0);
+    }
+
+    #[test]
+    fn error_fault_fires_once_on_the_nth_hit() {
+        let _g = FaultPlan::new().error_on(FaultPoint::ApkBatch, 3).install();
+        assert!(!fire(FaultPoint::ApkBatch));
+        assert!(!fire(FaultPoint::ApkBatch));
+        assert!(fire(FaultPoint::ApkBatch));
+        assert!(!fire(FaultPoint::ApkBatch), "one-shot");
+        assert_eq!(hit_count(FaultPoint::ApkBatch), 4);
+        assert_eq!(injected_count(), 1);
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let _g = FaultPlan::new()
+            .error_on(FaultPoint::EngineApply, 1)
+            .error_on(FaultPoint::PolicyCheck, 2)
+            .install();
+        assert!(fire(FaultPoint::EngineApply));
+        assert!(!fire(FaultPoint::PolicyCheck));
+        assert!(fire(FaultPoint::PolicyCheck));
+    }
+
+    #[test]
+    fn panic_fault_panics_with_marker() {
+        let _g = FaultPlan::new().panic_on(FaultPoint::PolicyCheck, 1).install();
+        let err = std::panic::catch_unwind(|| fire(FaultPoint::PolicyCheck))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+        // The thread-local stays usable after the unwind.
+        assert!(!fire(FaultPoint::PolicyCheck));
+        assert_eq!(injected_count(), 1);
+    }
+
+    #[test]
+    fn guard_clears_on_drop() {
+        {
+            let _g = FaultPlan::new().error_on(FaultPoint::EngineApply, 1).install();
+            assert!(is_active());
+        }
+        assert!(!is_active());
+        assert!(!fire(FaultPoint::EngineApply));
+    }
+
+    #[test]
+    fn reinstall_resets_counters() {
+        let _g = FaultPlan::new().error_on(FaultPoint::EngineApply, 2).install();
+        assert!(!fire(FaultPoint::EngineApply));
+        let _g = FaultPlan::new().error_on(FaultPoint::EngineApply, 2).install();
+        assert!(!fire(FaultPoint::EngineApply), "counter restarted");
+        assert!(fire(FaultPoint::EngineApply));
+    }
+}

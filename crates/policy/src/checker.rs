@@ -216,6 +216,38 @@ impl PolicyChecker {
         self.policies[id.0 as usize].satisfied
     }
 
+    /// The registered policies with their current verdicts, in
+    /// registration order (index = [`PolicyId`]). Rebuild support: a
+    /// fresh checker fed these through [`PolicyChecker::add_policy`] +
+    /// [`PolicyChecker::restore_verdict`] preserves both the policy ids
+    /// and the satisfaction history, so newly-violated/newly-satisfied
+    /// deltas stay correct across a full rebuild.
+    pub fn policy_specs(&self) -> Vec<(Policy, bool)> {
+        self.policies.iter().map(|r| (r.policy.clone(), r.satisfied)).collect()
+    }
+
+    /// Current verdict vector (index = [`PolicyId`]).
+    pub fn verdicts(&self) -> Vec<bool> {
+        self.policies.iter().map(|r| r.satisfied).collect()
+    }
+
+    /// Overwrite one stored verdict without re-evaluating (rebuild and
+    /// rollback support).
+    pub fn restore_verdict(&mut self, id: PolicyId, satisfied: bool) {
+        if let Some(r) = self.policies.get_mut(id.0 as usize) {
+            r.satisfied = satisfied;
+        }
+    }
+
+    /// Overwrite the stored verdicts from a snapshot taken with
+    /// [`PolicyChecker::verdicts`] (transaction rollback: a failed
+    /// checking pass may have flipped some flags before dying).
+    pub fn restore_verdicts(&mut self, snapshot: &[bool]) {
+        for (r, &s) in self.policies.iter_mut().zip(snapshot) {
+            r.satisfied = s;
+        }
+    }
+
     /// The ECs currently deliverable from `src` to `dst`.
     pub fn pair_ecs(&self, src: NodeId, dst: NodeId) -> Option<&BTreeSet<EcId>> {
         self.pair_ecs.get(&(src, dst))
@@ -247,6 +279,14 @@ impl PolicyChecker {
         summary: &BatchSummary,
         extra: BTreeSet<EcId>,
     ) -> CheckReport {
+        // Fault injection: no error channel here either — error-mode
+        // faults escalate to a panic for the verifier's containment.
+        if rc_faults::fire(rc_faults::FaultPoint::PolicyCheck) {
+            panic!(
+                "{} error at policy check escalated to panic (no error channel)",
+                rc_faults::INJECTED_PANIC_PREFIX
+            );
+        }
         // Splits first: the child EC behaves exactly like its pre-split
         // parent until a move says otherwise.
         for &(parent, child) in &summary.splits {

@@ -380,10 +380,18 @@ impl RoutingEngine {
 
     /// Apply a batch of fact changes as one epoch and update all
     /// derived state incrementally.
+    ///
+    /// Fault injection: the `rc_faults` hook fires *before* the delta
+    /// is ingested, so an injected [`EvalError::InjectedFault`] leaves
+    /// the engine's state untouched — a genuine mid-evaluation
+    /// divergence does not.
     pub fn apply<I: IntoIterator<Item = (Fact, isize)>>(
         &mut self,
         delta: I,
     ) -> Result<ApplyStats, EvalError> {
+        if rc_faults::fire(rc_faults::FaultPoint::EngineApply) {
+            return Err(EvalError::InjectedFault);
+        }
         for (f, r) in delta {
             self.push_fact(f, r);
         }

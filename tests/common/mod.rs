@@ -10,6 +10,25 @@ use rc_netcfg::gen::{build_configs, ProtocolChoice};
 use rc_netcfg::topology::host_prefix;
 use realconfig::{ChangeOp, ChangeSet, RealConfig};
 
+/// Suppress the default panic hook's noise for injected-fault panics
+/// (they are expected and contained); everything else still prints.
+pub fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
 #[derive(Clone, Debug)]
 pub enum Cmd {
     ToggleIface { dev: usize, iface: usize },

@@ -1,9 +1,11 @@
 //! Contract tests for [`realconfig::Error::Divergence`].
 //!
 //! The docs promise: when a change makes the control plane diverge, the
-//! verifier's internal state is poisoned, but the *configurations* stay
-//! at the last good set — so the caller can rebuild a fresh verifier
-//! from `rc.configs()` and carry on. These tests pin that contract.
+//! verifier is poisoned — [`RealConfig::needs_rebuild`] reports it,
+//! further applies are refused with [`Error::Poisoned`] — but the
+//! *configurations* stay at the last good set, so
+//! [`RealConfig::rebuild`] (or a fresh build from `rc.configs()`)
+//! recovers in place. These tests pin that contract.
 
 use std::collections::BTreeMap;
 
@@ -82,6 +84,49 @@ fn rebuilding_from_last_good_configs_recovers() {
         .apply_change(&ChangeSet::local_pref("r000", "eth1", 100))
         .expect("repair verifies");
     assert!(report.fact_changes > 0);
+}
+
+#[test]
+fn divergence_poisons_until_rebuilt_in_place() {
+    let (mut rc, _) = RealConfig::new(stable_ring()).expect("stable ring verifies");
+    diverge(&mut rc);
+
+    // Poisoned: the verifier says so and refuses further changes.
+    assert!(rc.needs_rebuild(), "divergence must poison the verifier");
+    let benign = ChangeSet::local_pref("r000", "eth1", 100);
+    match rc.apply_change(&benign) {
+        Err(Error::Poisoned) => {}
+        other => panic!("expected Poisoned while poisoned, got: {other:?}"),
+    }
+
+    // In-place recovery from the last good configurations.
+    let report = rc.rebuild().expect("rebuild from last good configs succeeds");
+    assert!(!rc.needs_rebuild(), "successful rebuild un-poisons");
+    assert!(report.fib_entries > 0);
+
+    // The rebuilt verifier equals a from-scratch build of the same
+    // configurations…
+    let (fresh, _) = RealConfig::new(rc.configs().clone()).expect("verifies");
+    assert_eq!(rc.fib(), fresh.fib());
+    assert_eq!(rc.num_pairs(), fresh.num_pairs());
+
+    // …and is fully operational again.
+    let report = rc.apply_change(&benign).expect("repair verifies incrementally");
+    assert!(report.fact_changes > 0);
+}
+
+#[test]
+fn rebuild_counters_appear_in_metrics() {
+    let (mut rc, _) = RealConfig::new(stable_ring()).expect("stable ring verifies");
+    diverge(&mut rc);
+    rc.rebuild().expect("rebuild succeeds");
+
+    let snap = rc.metrics_snapshot();
+    assert_eq!(snap.counters.get("verifier.poison_events"), Some(&1));
+    assert_eq!(snap.counters.get("verifier.rebuilds"), Some(&1));
+    assert!(snap.counters.get("verifier.rollbacks").copied().unwrap_or(0) >= 1);
+    let h = snap.histograms.get("verifier.rebuild_us").expect("rebuild latency histogram");
+    assert_eq!(h.count, 1, "one rebuild recorded");
 }
 
 #[test]

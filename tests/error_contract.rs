@@ -1,0 +1,215 @@
+//! Satellite contract: every [`realconfig::Error`] variant leaves the
+//! verifier's *observable* state — configs, facts, warnings, FIB,
+//! policy verdicts — at the last good set. A never-failed twin verifier
+//! is the oracle: after each rejected change the failed verifier must
+//! look exactly like the twin (for pre-pipeline failures, down to the
+//! FIB; for mid-pipeline faults, observables roll back and poisoning +
+//! rebuild restores full equality).
+
+use std::collections::BTreeMap;
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{host_prefix, ring};
+use rc_netcfg::DeviceConfig;
+use realconfig::{ChangeSet, Error, PolicyId, RealConfig};
+
+fn net() -> BTreeMap<String, DeviceConfig> {
+    build_configs(&ring(4), ProtocolChoice::Ospf)
+}
+
+/// Build a verifier with one standing reachability policy.
+fn build() -> (RealConfig, PolicyId) {
+    let (mut rc, _) = RealConfig::new(net()).expect("ring verifies");
+    let id = rc.require_reachability("r000", "r002", host_prefix(2)).expect("devices exist");
+    rc.recheck_policies();
+    (rc, id)
+}
+
+/// Suppress the default panic hook's noise for injected-fault panics
+/// (they are expected and contained); everything else still prints.
+fn quiet_injected_panics() {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX))
+            || info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX));
+        if !injected {
+            default(info);
+        }
+    }));
+}
+
+/// Observable state must match the twin byte-for-byte.
+fn assert_observables_equal(rc: &RealConfig, twin: &RealConfig, ctx: &str) {
+    assert_eq!(rc.configs(), twin.configs(), "{ctx}: configs");
+    assert_eq!(rc.facts(), twin.facts(), "{ctx}: facts");
+    assert_eq!(rc.warnings(), twin.warnings(), "{ctx}: warnings");
+}
+
+/// Pipeline state (FIB, pairs, verdict) must match the twin too — only
+/// guaranteed for pre-pipeline failures or after a rebuild.
+fn assert_pipeline_equal(
+    rc: &RealConfig,
+    twin: &RealConfig,
+    id: PolicyId,
+    tid: PolicyId,
+    ctx: &str,
+) {
+    assert_eq!(rc.fib(), twin.fib(), "{ctx}: FIB");
+    assert_eq!(rc.num_pairs(), twin.num_pairs(), "{ctx}: pair count");
+    assert_eq!(rc.is_satisfied(id), twin.is_satisfied(tid), "{ctx}: verdict");
+}
+
+#[test]
+fn change_error_leaves_everything_untouched() {
+    let (mut rc, id) = build();
+    let (twin, tid) = build();
+
+    let bad = ChangeSet::link_failure("no-such-device", "eth0");
+    match rc.apply_change(&bad) {
+        Err(Error::Change(_)) => {}
+        other => panic!("expected Change error, got: {other:?}"),
+    }
+    assert!(!rc.needs_rebuild(), "a change error must not poison");
+    assert_observables_equal(&rc, &twin, "after change error");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after change error");
+    assert_eq!(rc.num_ecs(), twin.num_ecs(), "after change error: ECs");
+
+    // Still fully operational.
+    rc.apply_change(&ChangeSet::link_failure("r001", "eth1")).expect("good change verifies");
+}
+
+#[test]
+fn injected_engine_fault_rolls_back_byte_identically() {
+    let (mut rc, id) = build();
+    let (mut twin, tid) = build();
+
+    // Fault at the stage 1 boundary: fires before the engine ingests
+    // the delta, so observable state must be *byte-identical* to the
+    // twin — including the FIB and EC partition.
+    let guard = rc_faults::FaultPlan::new()
+        .error_on(rc_faults::FaultPoint::EngineApply, 1)
+        .install();
+    let change = ChangeSet::link_failure("r001", "eth1");
+    match rc.apply_change(&change) {
+        Err(Error::Divergence(rc_dataflow::EvalError::InjectedFault)) => {}
+        other => panic!("expected injected Divergence, got: {other:?}"),
+    }
+    drop(guard);
+
+    assert_observables_equal(&rc, &twin, "after injected engine fault");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after injected engine fault");
+    assert_eq!(rc.num_ecs(), twin.num_ecs(), "after injected engine fault: ECs");
+
+    // The verifier conservatively poisons on any Divergence; rebuild
+    // and continue — it must track the twin through further changes.
+    assert!(rc.needs_rebuild());
+    rc.rebuild().expect("rebuild succeeds");
+    rc.apply_change(&change).expect("change verifies after rebuild");
+    twin.apply_change(&change).expect("change verifies on twin");
+    assert_observables_equal(&rc, &twin, "after post-rebuild change");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after post-rebuild change");
+}
+
+#[test]
+fn injected_model_panic_rolls_back_observables_and_poisons() {
+    quiet_injected_panics();
+    let (mut rc, id) = build();
+    let (mut twin, tid) = build();
+
+    let guard = rc_faults::FaultPlan::new()
+        .panic_on(rc_faults::FaultPoint::ApkBatch, 1)
+        .install();
+    let change = ChangeSet::link_failure("r001", "eth1");
+    let msg = match rc.apply_change(&change) {
+        Err(Error::Internal(msg)) => msg,
+        other => panic!("expected Internal, got: {other:?}"),
+    };
+    drop(guard);
+    assert!(
+        msg.starts_with(rc_faults::INJECTED_PANIC_PREFIX),
+        "panic payload surfaces in the error: {msg:?}"
+    );
+
+    // Configs, facts, warnings and verdicts roll back even though the
+    // panic hit mid-pipeline (stage 1 had already run).
+    assert_observables_equal(&rc, &twin, "after injected model panic");
+    assert_eq!(rc.is_satisfied(id), twin.is_satisfied(tid), "verdict rolls back");
+
+    // Mid-pipeline fault ⇒ poisoned; applies are refused until rebuilt.
+    assert!(rc.needs_rebuild());
+    match rc.apply_change(&change) {
+        Err(Error::Poisoned) => {}
+        other => panic!("expected Poisoned, got: {other:?}"),
+    }
+    rc.rebuild().expect("rebuild succeeds");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after rebuild");
+
+    rc.apply_change(&change).expect("change verifies after rebuild");
+    twin.apply_change(&change).expect("change verifies on twin");
+    assert_observables_equal(&rc, &twin, "after post-rebuild change");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after post-rebuild change");
+}
+
+#[test]
+fn injected_policy_panic_restores_verdicts() {
+    quiet_injected_panics();
+    let (mut rc, id) = build();
+    let (mut twin, tid) = build();
+
+    let guard = rc_faults::FaultPlan::new()
+        .panic_on(rc_faults::FaultPoint::PolicyCheck, 1)
+        .install();
+    // This change breaks r000→r002 reachability when committed; the
+    // injected stage 3 panic must leave the verdict at the last good
+    // value instead.
+    let change = ChangeSet::link_failure("r001", "eth1");
+    match rc.apply_change(&change) {
+        Err(Error::Internal(_)) => {}
+        other => panic!("expected Internal, got: {other:?}"),
+    }
+    drop(guard);
+
+    assert_observables_equal(&rc, &twin, "after injected policy panic");
+    assert_eq!(
+        rc.is_satisfied(id),
+        twin.is_satisfied(tid),
+        "verdict restored to pre-change value"
+    );
+    assert!(rc.needs_rebuild());
+
+    rc.rebuild().expect("rebuild succeeds");
+    rc.apply_change(&change).expect("change verifies after rebuild");
+    twin.apply_change(&change).expect("change verifies on twin");
+    assert_pipeline_equal(&rc, &twin, id, tid, "after post-rebuild change");
+}
+
+#[test]
+fn poisoned_error_is_itself_stateless() {
+    quiet_injected_panics();
+    let (mut rc, id) = build();
+    let (twin, tid) = build();
+
+    let guard = rc_faults::FaultPlan::new()
+        .panic_on(rc_faults::FaultPoint::ApkBatch, 1)
+        .install();
+    let change = ChangeSet::link_failure("r001", "eth1");
+    let _ = rc.apply_change(&change);
+    drop(guard);
+    assert!(rc.needs_rebuild());
+
+    // Repeated refusals don't change anything either.
+    for _ in 0..3 {
+        match rc.apply_change(&change) {
+            Err(Error::Poisoned) => {}
+            other => panic!("expected Poisoned, got: {other:?}"),
+        }
+        assert_observables_equal(&rc, &twin, "while poisoned");
+        assert_eq!(rc.is_satisfied(id), twin.is_satisfied(tid), "verdict while poisoned");
+    }
+}
