@@ -13,6 +13,14 @@
 //! affected ECs with their old and new actions — the input to the
 //! incremental policy checker.
 //!
+//! Candidate narrowing (Delta-net-style): every EC keeps the interval
+//! cover of the destination-IP projection of its predicate in a sorted
+//! interval map ([`DstIndex`]), and every element keeps a `port → ECs`
+//! inverted index, so a rule transfer probes only ECs whose dst
+//! intervals intersect the rule's — not the whole partition — and skips
+//! candidates already on the target port without any BDD work. See
+//! DESIGN.md § "EC indexing".
+//!
 //! Precondition: an element never *persistently* holds two rules of
 //! equal priority whose matches overlap but whose actions differ — a
 //! FIB has one route per prefix (ECMP is one logical port), an ACL has
@@ -23,7 +31,14 @@ use rc_bdd::{Bdd, Ref};
 use rc_netcfg::types::Prefix;
 
 use crate::types::*;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Maximum intervals stored per EC (and computed per query) in the dst
+/// index before falling back to the projection's `[min, max]` hull —
+/// still sound, just coarser. Prefix-shaped predicates need 1 interval
+/// and their complements 2; only heavily port/proto-fragmented
+/// predicates hit the cap.
+const INTERVAL_CAP: usize = 16;
 
 struct StoredRule {
     priority: u32,
@@ -40,13 +55,16 @@ struct Element {
     /// Port actions; index is the port id within this element.
     ports: Vec<PortAction>,
     port_index: HashMap<PortAction, usize>,
-    /// Which port each EC is assigned to. Every live EC has an entry.
-    port_of_ec: HashMap<u32, usize>,
+    /// Which port each EC is assigned to, indexed by EC id (EC ids are
+    /// dense: splits append, merge compaction renumbers).
+    port_of_ec: Vec<usize>,
+    /// Inverted index: the ECs currently assigned to each port.
+    ecs_on_port: Vec<BTreeSet<u32>>,
     default_port: usize,
 }
 
 impl Element {
-    fn new(key: ElementKey, live_ecs: impl Iterator<Item = u32>) -> Self {
+    fn new(key: ElementKey, num_ecs: usize) -> Self {
         let default_action = match key {
             ElementKey::Forward(_) => PortAction::Drop,
             ElementKey::Filter(..) => PortAction::Permit,
@@ -56,13 +74,13 @@ impl Element {
             rules: Vec::new(),
             ports: Vec::new(),
             port_index: HashMap::new(),
-            port_of_ec: HashMap::new(),
+            port_of_ec: Vec::new(),
+            ecs_on_port: Vec::new(),
             default_port: 0,
         };
         e.default_port = e.port_id(default_action);
-        for ec in live_ecs {
-            e.port_of_ec.insert(ec, e.default_port);
-        }
+        e.port_of_ec = vec![e.default_port; num_ecs];
+        e.ecs_on_port[e.default_port].extend(0..num_ecs as u32);
         e
     }
 
@@ -73,7 +91,161 @@ impl Element {
         let id = self.ports.len();
         self.ports.push(action.clone());
         self.port_index.insert(action, id);
+        self.ecs_on_port.push(BTreeSet::new());
         id
+    }
+
+    /// Reassign `ec` to `to`, maintaining the inverted index. Returns
+    /// the previous port.
+    fn assign(&mut self, ec: u32, to: usize) -> usize {
+        let from = std::mem::replace(&mut self.port_of_ec[ec as usize], to);
+        if from != to {
+            self.ecs_on_port[from].remove(&ec);
+            self.ecs_on_port[to].insert(ec);
+        }
+        from
+    }
+
+    /// Register a split child on its parent's port. Returns that port.
+    fn add_split_child(&mut self, parent: u32, child: u32) -> usize {
+        debug_assert_eq!(child as usize, self.port_of_ec.len());
+        let port = self.port_of_ec[parent as usize];
+        self.port_of_ec.push(port);
+        self.ecs_on_port[port].insert(child);
+        port
+    }
+}
+
+/// Sorted interval map over the ECs' destination-IP covers.
+///
+/// Two mirrored views of the same interval set answer an intersection
+/// query `[qlo, qhi]` in output-sensitive time, with integer
+/// comparisons only:
+///
+/// * `by_lo` — every cover interval as `(lo, hi, ec)`, sorted: a range
+///   scan yields the intervals *starting inside* the query window;
+/// * `stabs` — an atom map `boundary → ECs covering [boundary, next)`:
+///   one predecessor lookup yields the intervals *covering `qlo`*
+///   (started before the window, reach into it).
+///
+/// Together those are exactly the intervals intersecting the query.
+/// Atom boundaries are created as interval endpoints appear and never
+/// removed (covers churn on the same prefix endpoints, so boundaries
+/// saturate quickly); merge compaction rebuilds from scratch.
+struct DstIndex {
+    by_lo: BTreeSet<(u32, u32, u32)>,
+    stabs: BTreeMap<u32, Vec<u32>>,
+    /// Per-EC interval cover (mirror, for removal and invariants).
+    covers: Vec<Vec<(u32, u32)>>,
+}
+
+impl DstIndex {
+    /// An index over the initial single full-space EC.
+    fn new_full_space() -> Self {
+        let mut ix = DstIndex {
+            by_lo: BTreeSet::new(),
+            stabs: BTreeMap::from([(0u32, Vec::new())]),
+            covers: Vec::new(),
+        };
+        ix.push_ec(vec![(0, u32::MAX)]);
+        ix
+    }
+
+    /// The dst cover of `pred`: exact intervals when small, else the
+    /// projection hull.
+    fn cover_of(bdd: &Bdd, pred: Ref) -> Vec<(u32, u32)> {
+        match bdd.pkt_dst_intervals(pred, INTERVAL_CAP) {
+            Some(iv) => iv,
+            None => {
+                let (lo, hi) = bdd.pkt_dst_bounds(pred).expect("nonempty predicate");
+                vec![(lo, hi)]
+            }
+        }
+    }
+
+    /// Ensure an atom starts exactly at `at` (splitting the atom that
+    /// covers it).
+    fn ensure_boundary(&mut self, at: u32) {
+        if self.stabs.contains_key(&at) {
+            return;
+        }
+        let inherited =
+            self.stabs.range(..at).next_back().map(|(_, v)| v.clone()).unwrap_or_default();
+        self.stabs.insert(at, inherited);
+    }
+
+    fn add_interval(&mut self, lo: u32, hi: u32, ec: u32) {
+        self.by_lo.insert((lo, hi, ec));
+        self.ensure_boundary(lo);
+        if hi < u32::MAX {
+            self.ensure_boundary(hi + 1);
+        }
+        for (_, list) in self.stabs.range_mut(lo..=hi) {
+            if let Err(p) = list.binary_search(&ec) {
+                list.insert(p, ec);
+            }
+        }
+    }
+
+    fn remove_interval(&mut self, lo: u32, hi: u32, ec: u32) {
+        self.by_lo.remove(&(lo, hi, ec));
+        for (_, list) in self.stabs.range_mut(lo..=hi) {
+            if let Ok(p) = list.binary_search(&ec) {
+                list.remove(p);
+            }
+        }
+    }
+
+    /// Append a new EC (id = current count) with `cover`.
+    fn push_ec(&mut self, cover: Vec<(u32, u32)>) {
+        let ec = self.covers.len() as u32;
+        for &(lo, hi) in &cover {
+            self.add_interval(lo, hi, ec);
+        }
+        self.covers.push(cover);
+    }
+
+    /// Replace `ec`'s cover (after its predicate shrank in a split).
+    fn set_cover(&mut self, ec: u32, cover: Vec<(u32, u32)>) {
+        let old = std::mem::take(&mut self.covers[ec as usize]);
+        for (lo, hi) in old {
+            self.remove_interval(lo, hi, ec);
+        }
+        for &(lo, hi) in &cover {
+            self.add_interval(lo, hi, ec);
+        }
+        self.covers[ec as usize] = cover;
+    }
+
+    /// Rebuild from scratch (after merge compaction renumbers ECs).
+    fn rebuild(&mut self, covers: Vec<Vec<(u32, u32)>>) {
+        self.by_lo.clear();
+        self.stabs = BTreeMap::from([(0u32, Vec::new())]);
+        self.covers.clear();
+        for cover in covers {
+            self.push_ec(cover);
+        }
+    }
+
+    /// ECs whose cover intersects any interval of `query` — a superset
+    /// of the ECs whose predicate intersects the queried one (covers
+    /// over-approximate), ascending and deduplicated.
+    fn candidates(&self, query: &[(u32, u32)]) -> Vec<u32> {
+        let mut out = Vec::new();
+        for &(qlo, qhi) in query {
+            // Intervals starting inside the query window.
+            for &(_, _, ec) in self.by_lo.range((qlo, 0, 0)..=(qhi, u32::MAX, u32::MAX)) {
+                out.push(ec);
+            }
+            // Intervals covering qlo: started before the window and
+            // reach into it.
+            if let Some((_, list)) = self.stabs.range(..=qlo).next_back() {
+                out.extend_from_slice(list);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -83,13 +255,23 @@ pub struct ApkModel {
     /// `ec_preds[i]` is the predicate of EC `i`. Never empty, never
     /// overlapping; their union is the full space.
     ec_preds: Vec<Ref>,
+    /// Dst-interval index over `ec_preds`, maintained on split/merge.
+    dst_index: DstIndex,
+    /// Test support: bypass the index and probe every EC (the oracle
+    /// the property tests compare against). The index is still
+    /// maintained, so the flag can be toggled at any time.
+    full_scan: bool,
     elements: Vec<Element>,
     element_index: HashMap<ElementKey, usize>,
     telemetry: Option<ApkTelemetry>,
 }
 
 /// Cached metric handles (name lookups happen once, at attach time).
+/// The index counters register lazily, on first indexed query, so
+/// snapshots from runs that never exercise the index carry no
+/// `apkeep.index_*` keys.
 struct ApkTelemetry {
+    registry: rc_telemetry::Telemetry,
     ecs: rc_telemetry::Gauge,
     elements: rc_telemetry::Gauge,
     rules: rc_telemetry::Gauge,
@@ -99,11 +281,15 @@ struct ApkTelemetry {
     ec_merges: rc_telemetry::Counter,
     affected_ecs: rc_telemetry::Counter,
     batch_rules: rc_telemetry::Histogram,
+    index_probes: Option<rc_telemetry::Counter>,
+    index_skipped: Option<rc_telemetry::Counter>,
+    index_fallbacks: Option<rc_telemetry::Counter>,
 }
 
 impl ApkTelemetry {
     fn new(registry: &rc_telemetry::Telemetry) -> Self {
         ApkTelemetry {
+            registry: registry.clone(),
             ecs: registry.gauge("apkeep.ecs"),
             elements: registry.gauge("apkeep.elements"),
             rules: registry.gauge("apkeep.rules"),
@@ -113,7 +299,30 @@ impl ApkTelemetry {
             ec_merges: registry.counter("apkeep.ec_merges"),
             affected_ecs: registry.counter("apkeep.affected_ecs"),
             batch_rules: registry.histogram("apkeep.batch_rules"),
+            index_probes: None,
+            index_skipped: None,
+            index_fallbacks: None,
         }
+    }
+
+    /// Candidates that went on to a BDD intersection.
+    fn index_probes(&mut self) -> &rc_telemetry::Counter {
+        self.index_probes
+            .get_or_insert_with(|| self.registry.counter("apkeep.index_probes"))
+    }
+
+    /// ECs excluded without any BDD work (outside the queried dst
+    /// intervals, or already on the transfer's target port).
+    fn index_skipped(&mut self) -> &rc_telemetry::Counter {
+        self.index_skipped
+            .get_or_insert_with(|| self.registry.counter("apkeep.index_skipped"))
+    }
+
+    /// Queries whose dst cover was the full address space (e.g. an ACL
+    /// with an unconstrained dst), degrading to a full scan.
+    fn index_fallbacks(&mut self) -> &rc_telemetry::Counter {
+        self.index_fallbacks
+            .get_or_insert_with(|| self.registry.counter("apkeep.index_fallbacks"))
     }
 }
 
@@ -130,6 +339,8 @@ impl ApkModel {
         ApkModel {
             bdd: Bdd::new(),
             ec_preds: vec![Ref::TRUE],
+            dst_index: DstIndex::new_full_space(),
+            full_scan: false,
             elements: Vec::new(),
             element_index: HashMap::new(),
             telemetry: None,
@@ -139,9 +350,20 @@ impl ApkModel {
     /// Attach a telemetry registry. Every batch records the transfer
     /// size (`apkeep.batch_rules`, `apkeep.rules_applied`), EC churn
     /// (`apkeep.ec_moves`/`ec_splits`/`ec_merges`), net affected ECs,
-    /// and the post-batch EC/element/rule totals as gauges.
+    /// and the post-batch EC/element/rule totals as gauges. Indexed
+    /// queries additionally record `apkeep.index_probes` /
+    /// `index_skipped` / `index_fallbacks` (registered lazily, on first
+    /// indexed query).
     pub fn set_telemetry(&mut self, registry: &rc_telemetry::Telemetry) {
         self.telemetry = Some(ApkTelemetry::new(registry));
+    }
+
+    /// Disable (or re-enable) the dst-interval candidate index,
+    /// reverting queries to the full O(#ECs) scan. The index is still
+    /// maintained while disabled. Test/ablation support: both paths
+    /// must produce byte-identical results.
+    pub fn set_full_scan(&mut self, full_scan: bool) {
+        self.full_scan = full_scan;
     }
 
     /// Number of live ECs.
@@ -179,7 +401,7 @@ impl ApkModel {
     /// permit for filters).
     pub fn action(&self, key: ElementKey, ec: EcId) -> Option<&PortAction> {
         let e = &self.elements[*self.element_index.get(&key)?];
-        Some(&e.ports[*e.port_of_ec.get(&ec.0).expect("live EC in every element")])
+        Some(&e.ports[e.port_of_ec[ec.0 as usize]])
     }
 
     /// The rule a concrete packet matches at an element, in first-match
@@ -210,12 +432,60 @@ impl ApkModel {
         unreachable!("ECs partition the full space")
     }
 
-    /// ECs whose predicate intersects `pred`.
-    pub fn ecs_intersecting(&mut self, pred: Ref) -> Vec<EcId> {
-        let mut out = Vec::new();
+    /// Candidate ECs for `pred` from the dst-interval index: a superset
+    /// of the ECs intersecting `pred`, ascending. `None` means "probe
+    /// everything" — the index is disabled, or `pred`'s dst cover is
+    /// the whole address space so the index cannot narrow anything.
+    fn candidate_ecs(&mut self, pred: Ref) -> Option<Vec<u32>> {
+        if self.full_scan {
+            return None;
+        }
+        let query = DstIndex::cover_of(&self.bdd, pred);
+        if query == [(0, u32::MAX)] {
+            if let Some(tel) = &mut self.telemetry {
+                tel.index_fallbacks().incr();
+            }
+            return None;
+        }
+        let cands = self.dst_index.candidates(&query);
+        #[cfg(debug_assertions)]
+        self.cross_check_candidates(pred, &cands);
+        Some(cands)
+    }
+
+    /// Debug-build cross-check: the indexed candidate set must contain
+    /// every EC the full scan would find intersecting `pred`.
+    #[cfg(debug_assertions)]
+    fn cross_check_candidates(&mut self, pred: Ref, candidates: &[u32]) {
         for i in 0..self.ec_preds.len() {
             if !self.bdd.and(self.ec_preds[i], pred).is_false() {
-                out.push(EcId(i as u32));
+                debug_assert!(
+                    candidates.binary_search(&(i as u32)).is_ok(),
+                    "dst index dropped intersecting EC {i}"
+                );
+            }
+        }
+    }
+
+    /// ECs whose predicate intersects `pred`.
+    pub fn ecs_intersecting(&mut self, pred: Ref) -> Vec<EcId> {
+        if pred.is_false() {
+            return Vec::new();
+        }
+        let num_ecs = self.ec_preds.len();
+        let candidates = self.candidate_ecs(pred);
+        let indexed = candidates.is_some();
+        let scan = candidates.unwrap_or_else(|| (0..num_ecs as u32).collect());
+        let mut out = Vec::new();
+        for &i in &scan {
+            if !self.bdd.and(self.ec_preds[i as usize], pred).is_false() {
+                out.push(EcId(i));
+            }
+        }
+        if let Some(tel) = &mut self.telemetry {
+            if indexed {
+                tel.index_probes().add(scan.len() as u64);
+                tel.index_skipped().add((num_ecs - scan.len()) as u64);
             }
         }
         out
@@ -250,7 +520,7 @@ impl ApkModel {
             return i;
         }
         let i = self.elements.len();
-        self.elements.push(Element::new(key, 0..self.ec_preds.len() as u32));
+        self.elements.push(Element::new(key, self.ec_preds.len()));
         self.element_index.insert(key, i);
         i
     }
@@ -316,13 +586,18 @@ impl ApkModel {
             let elem = &mut self.elements[eid];
             let stored =
                 StoredRule { priority: rule.priority, rule_match: rule.rule_match, pred, port };
-            let pos = elem
-                .rules
-                .binary_search_by(|r| {
-                    (std::cmp::Reverse(r.priority), r.rule_match, &elem.ports[r.port])
-                        .cmp(&(std::cmp::Reverse(rule.priority), rule.rule_match, &rule.action))
-                })
-                .unwrap_or_else(|p| p);
+            let pos = match elem.rules.binary_search_by(|r| {
+                (std::cmp::Reverse(r.priority), r.rule_match, &elem.ports[r.port])
+                    .cmp(&(std::cmp::Reverse(rule.priority), rule.rule_match, &rule.action))
+            }) {
+                // Identical rule already stored (same priority, match
+                // and action): inserting it again is a no-op — its
+                // packets are already on its port. Storing a second
+                // copy would leave a phantom rule behind after one
+                // matching Remove.
+                Ok(_) => return,
+                Err(p) => p,
+            };
             elem.rules.insert(pos, stored);
         }
         self.transfer(eid, hit, port, tx);
@@ -393,36 +668,50 @@ impl ApkModel {
 
     /// Move all packets of `pred` to `to_port` on element `eid`,
     /// splitting straddling ECs.
+    ///
+    /// Probes only the index's candidate ECs (ascending, so split
+    /// child ids are identical to a full scan's), and skips candidates
+    /// already assigned to the target port without touching the BDD —
+    /// such ECs can neither split nor move. Both shortcuts are
+    /// output-invariant: ECs are disjoint, so each EC's intersection
+    /// with the un-transferred remainder equals its intersection with
+    /// `pred` regardless of which other ECs were probed first.
     fn transfer(&mut self, eid: usize, pred: Ref, to_port: usize, tx: &mut Batch) {
         if pred.is_false() {
             return;
         }
+        let num_ecs = self.ec_preds.len();
+        let candidates = self.candidate_ecs(pred);
+        let indexed = candidates.is_some();
+        let scan = candidates.unwrap_or_else(|| (0..num_ecs as u32).collect());
         // Track the part of `pred` not yet accounted for: once every
-        // packet of the predicate has been located (moved or already at
-        // the target), the scan can stop early — the common case is a
+        // packet of the predicate has been located on an off-target
+        // candidate, the scan can stop early — the common case is a
         // prefix covering exactly one EC.
         let mut remaining = pred;
-        let num_ecs = self.ec_preds.len();
-        for idx in 0..num_ecs {
+        let mut probes = 0u64;
+        let mut skips = if indexed { (num_ecs - scan.len()) as u64 } else { 0 };
+        for &idx in &scan {
             if remaining.is_false() {
                 break;
             }
-            let ec_pred = self.ec_preds[idx];
+            if self.elements[eid].port_of_ec[idx as usize] == to_port {
+                skips += 1;
+                continue;
+            }
+            let ec_pred = self.ec_preds[idx as usize];
+            probes += 1;
             let inter = self.bdd.and(ec_pred, remaining);
             if inter.is_false() {
                 continue;
             }
             remaining = self.bdd.diff(remaining, inter);
-            let cur = *self.elements[eid].port_of_ec.get(&(idx as u32)).expect("live EC");
-            if cur == to_port {
-                continue;
-            }
-            let moving = if inter == ec_pred {
-                idx as u32
-            } else {
-                self.split(idx as u32, inter, tx)
-            };
+            let moving = if inter == ec_pred { idx } else { self.split(idx, inter, tx) };
             self.move_ec(eid, moving, to_port, tx);
+        }
+        if let Some(tel) = &mut self.telemetry {
+            tel.index_probes().add(probes);
+            tel.index_skipped().add(skips);
         }
     }
 
@@ -435,9 +724,14 @@ impl ApkModel {
         debug_assert!(!remainder.is_false(), "split with nothing left in the parent");
         self.ec_preds[parent as usize] = remainder;
         self.ec_preds.push(inter);
+        // Index maintenance: the parent's dst projection shrank (or
+        // stayed — recompute either way), the child's is new.
+        let parent_cover = DstIndex::cover_of(&self.bdd, remainder);
+        self.dst_index.set_cover(parent, parent_cover);
+        let child_cover = DstIndex::cover_of(&self.bdd, inter);
+        self.dst_index.push_ec(child_cover);
         for (eidx, elem) in self.elements.iter_mut().enumerate() {
-            let port = *elem.port_of_ec.get(&parent).expect("live EC");
-            elem.port_of_ec.insert(child, port);
+            let port = elem.add_split_child(parent, child);
             // The child's pre-batch action is whatever the parent's
             // was (the parent may itself have moved already).
             if let Some(action) = tx.baseline.get(&(parent, eidx)) {
@@ -452,7 +746,7 @@ impl ApkModel {
 
     fn move_ec(&mut self, eid: usize, ec: u32, to_port: usize, tx: &mut Batch) {
         let elem = &mut self.elements[eid];
-        let from = elem.port_of_ec.insert(ec, to_port).expect("live EC");
+        let from = elem.assign(ec, to_port);
         debug_assert_ne!(from, to_port);
         tx.baseline.entry((ec, eid)).or_insert_with(|| elem.ports[from].clone());
         tx.moves += 1;
@@ -462,7 +756,7 @@ impl ApkModel {
         let mut affected = Vec::new();
         for ((ec, eidx), old) in &tx.baseline {
             let elem = &self.elements[*eidx];
-            let now = &elem.ports[*elem.port_of_ec.get(ec).expect("live EC")];
+            let now = &elem.ports[elem.port_of_ec[*ec as usize]];
             if now != old {
                 affected.push(AffectedEc {
                     ec: EcId(*ec),
@@ -493,66 +787,91 @@ impl ApkModel {
     }
 
     /// Merge ECs that receive identical treatment at every element
-    /// (APKeep's minimality maintenance). Returns `(survivor,
-    /// absorbed)` pairs. Note: merged ids disappear — callers keeping
-    /// EC-keyed state must process the merge list.
-    pub fn merge_equivalent(&mut self) -> Vec<(EcId, EcId)> {
-        // Signature: the port assignment vector across elements.
+    /// (APKeep's minimality maintenance) and compact the EC table.
+    ///
+    /// Compaction renumbers **every** EC, not just merged ones. The
+    /// report carries the `(survivor, absorbed)` pairs in
+    /// pre-compaction ids *and* the full old→new remap; callers keeping
+    /// EC-keyed state must re-key it through
+    /// [`MergeReport::new_id`]/`remap`.
+    pub fn merge_equivalent(&mut self) -> MergeReport {
+        let num_ecs = self.ec_preds.len();
+        // Group by signature — the port assignment vector across
+        // elements — walking each element's inverted index once
+        // instead of probing per (EC, element).
+        let mut sig_of: Vec<Vec<usize>> = vec![Vec::with_capacity(self.elements.len()); num_ecs];
+        for elem in &self.elements {
+            for (port, ecs) in elem.ecs_on_port.iter().enumerate() {
+                for &ec in ecs {
+                    sig_of[ec as usize].push(port);
+                }
+            }
+        }
         let mut groups: HashMap<Vec<usize>, Vec<u32>> = HashMap::new();
-        for ec in 0..self.ec_preds.len() as u32 {
-            let sig: Vec<usize> =
-                self.elements.iter().map(|e| *e.port_of_ec.get(&ec).expect("live EC")).collect();
-            groups.entry(sig).or_default().push(ec);
+        for (ec, sig) in sig_of.into_iter().enumerate() {
+            groups.entry(sig).or_default().push(ec as u32);
         }
         let mut merges = Vec::new();
-        let mut dead: Vec<u32> = Vec::new();
+        // survivor_of[ec]: the pre-compaction id carrying ec's packets.
+        let mut survivor_of: Vec<u32> = (0..num_ecs as u32).collect();
         for (_, mut group) in groups {
             group.sort_unstable();
             let survivor = group[0];
             for &ec in &group[1..] {
-                let merged = self.bdd.or(self.ec_preds[survivor as usize], self.ec_preds[ec as usize]);
+                let merged =
+                    self.bdd.or(self.ec_preds[survivor as usize], self.ec_preds[ec as usize]);
                 self.ec_preds[survivor as usize] = merged;
                 merges.push((EcId(survivor), EcId(ec)));
-                dead.push(ec);
+                survivor_of[ec as usize] = survivor;
             }
         }
-        // Compact the EC table: remove dead ids (descending swap-remove
-        // would renumber; instead rebuild preserving survivor ids by
-        // shifting — we renumber and report nothing further since this
-        // is an explicit maintenance call).
-        if !dead.is_empty() {
-            dead.sort_unstable();
-            let mut remap: HashMap<u32, u32> = HashMap::new();
-            let mut new_preds = Vec::with_capacity(self.ec_preds.len() - dead.len());
-            for ec in 0..self.ec_preds.len() as u32 {
-                if dead.binary_search(&ec).is_err() {
-                    remap.insert(ec, new_preds.len() as u32);
-                    new_preds.push(self.ec_preds[ec as usize]);
-                }
+        // HashMap group order is unstable; report deterministically.
+        merges.sort_unstable();
+        // Compact: survivors keep their relative order under new ids.
+        let mut new_id: Vec<u32> = vec![u32::MAX; num_ecs];
+        let mut new_preds = Vec::new();
+        for ec in 0..num_ecs {
+            if survivor_of[ec] == ec as u32 {
+                new_id[ec] = new_preds.len() as u32;
+                new_preds.push(self.ec_preds[ec]);
             }
+        }
+        let remap: Vec<EcId> =
+            (0..num_ecs).map(|ec| EcId(new_id[survivor_of[ec] as usize])).collect();
+        if !merges.is_empty() {
             self.ec_preds = new_preds;
             for elem in &mut self.elements {
-                let mut new_map = HashMap::with_capacity(remap.len());
-                for (&old, &new) in &remap {
-                    let port = *elem.port_of_ec.get(&old).expect("live EC");
-                    new_map.insert(new, port);
+                let old_ports = std::mem::take(&mut elem.port_of_ec);
+                elem.port_of_ec = vec![0; self.ec_preds.len()];
+                for s in &mut elem.ecs_on_port {
+                    s.clear();
                 }
-                elem.port_of_ec = new_map;
+                for (old, port) in old_ports.into_iter().enumerate() {
+                    if survivor_of[old] == old as u32 {
+                        let new = new_id[old] as usize;
+                        elem.port_of_ec[new] = port;
+                        elem.ecs_on_port[port].insert(new as u32);
+                    }
+                }
             }
-            // Report merges in terms of pre-compaction ids; callers are
-            // told ids are renumbered (documented) and should rebuild.
+            // Survivor predicates grew and every id moved: rebuild the
+            // dst index outright.
+            let covers: Vec<Vec<(u32, u32)>> =
+                self.ec_preds.iter().map(|&p| DstIndex::cover_of(&self.bdd, p)).collect();
+            self.dst_index.rebuild(covers);
         }
         if let Some(tel) = &self.telemetry {
             tel.ec_merges.add(merges.len() as u64);
             tel.ecs.set(self.ec_preds.len() as i64);
         }
-        merges
+        MergeReport { merges, remap }
     }
 
     /// Verify internal invariants (test support): EC predicates are
-    /// nonempty, pairwise disjoint, cover the space, and every element
-    /// assigns every EC to exactly one port consistent with its rule
-    /// table.
+    /// nonempty, pairwise disjoint, cover the space; every element's
+    /// inverted port index partitions the ECs consistently with its
+    /// rule table; and the dst index mirrors each EC's projection
+    /// cover.
     pub fn check_invariants(&mut self) {
         let mut union = Ref::FALSE;
         for i in 0..self.ec_preds.len() {
@@ -564,13 +883,19 @@ impl ApkModel {
         assert!(union.is_true(), "ECs do not cover the space");
 
         for eidx in 0..self.elements.len() {
-            let (rules, default, num_ports, assignments) = {
+            let (rules, default, num_ports, assignments, inverted) = {
                 let e = &self.elements[eidx];
+                assert_eq!(
+                    e.port_of_ec.len(),
+                    self.ec_preds.len(),
+                    "element {eidx} EC table out of sync"
+                );
                 (
                     e.rules.iter().map(|r| (r.pred, r.port)).collect::<Vec<_>>(),
                     e.default_port,
                     e.ports.len(),
                     e.port_of_ec.clone(),
+                    e.ecs_on_port.clone(),
                 )
             };
             // First-match evaluation of the table over the whole space:
@@ -584,17 +909,40 @@ impl ApkModel {
             }
             port_pred[default] = self.bdd.or(port_pred[default], remaining);
 
-            for ec in 0..self.ec_preds.len() {
-                let ec_pred = self.ec_preds[ec];
-                let port = *assignments
-                    .get(&(ec as u32))
-                    .unwrap_or_else(|| panic!("EC {ec} missing from element {eidx}"));
-                // The EC must lie entirely within its port's predicate
-                // (it may straddle individual rules as long as the
-                // resulting behaviour is uniform).
+            // Walk the inverted index: every EC appears on exactly one
+            // port, consistent with `port_of_ec`, and lies entirely
+            // within that port's predicate (it may straddle individual
+            // rules as long as the resulting behaviour is uniform).
+            let mut seen = 0usize;
+            for (port, ecs) in inverted.iter().enumerate() {
+                for &ec in ecs {
+                    assert_eq!(
+                        assignments[ec as usize], port,
+                        "inverted index disagrees with port_of_ec at element {eidx}, EC {ec}"
+                    );
+                    let ec_pred = self.ec_preds[ec as usize];
+                    assert!(
+                        self.bdd.subset(ec_pred, port_pred[port]),
+                        "EC {ec} on wrong port at element {eidx}"
+                    );
+                    seen += 1;
+                }
+            }
+            assert_eq!(seen, self.ec_preds.len(), "inverted index misses ECs at element {eidx}");
+        }
+
+        // The dst index mirrors each EC's current projection cover.
+        assert_eq!(self.dst_index.covers.len(), self.ec_preds.len(), "dst index out of sync");
+        for ec in 0..self.ec_preds.len() {
+            let expect = DstIndex::cover_of(&self.bdd, self.ec_preds[ec]);
+            assert_eq!(
+                self.dst_index.covers[ec], expect,
+                "stale dst cover for EC {ec}"
+            );
+            for &(lo, hi) in &expect {
                 assert!(
-                    self.bdd.subset(ec_pred, port_pred[port]),
-                    "EC {ec} on wrong port at element {eidx}"
+                    self.dst_index.by_lo.contains(&(lo, hi, ec as u32)),
+                    "dst interval map misses ({lo}, {hi}) of EC {ec}"
                 );
             }
         }

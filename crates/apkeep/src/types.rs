@@ -115,7 +115,16 @@ pub struct AffectedEc {
 }
 
 /// Summary of one batch application.
-#[derive(Clone, Debug, Default)]
+///
+/// Split-vs-affected distinction: `ec_splits`/`ec_moves`/`splits` are
+/// *churn* measures — they count every event during the batch,
+/// including splits whose child EC ends the batch on its pre-split
+/// action and moves that are later undone (e.g. a rule inserted and
+/// removed within one batch). Only `affected` — the net set — feeds
+/// incremental policy re-checking; a batch can split ECs and still
+/// report `affected` empty, in which case no policy work is required
+/// beyond registering the new EC ids from `splits`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct BatchSummary {
     /// Net port changes per (EC, element), excluding transients that
     /// returned to their original port.
@@ -123,10 +132,33 @@ pub struct BatchSummary {
     /// EC move *events*, including transient moves (this is the "#ECs"
     /// churn measure that differs between update orders in Table 3).
     pub ec_moves: usize,
-    /// Number of EC splits performed.
+    /// Number of EC splits performed, including splits whose child ends
+    /// the batch with an unchanged action (see the struct docs).
     pub ec_splits: usize,
     /// `(parent, child)` pairs for every split, in order.
     pub splits: Vec<(EcId, EcId)>,
     /// Rule updates applied.
     pub rules_applied: usize,
+}
+
+/// Result of [`merge_equivalent`](crate::ApkModel::merge_equivalent):
+/// which ECs merged, and how every pre-merge id maps into the
+/// compacted table.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MergeReport {
+    /// `(survivor, absorbed)` pairs in **pre-compaction** ids, sorted.
+    pub merges: Vec<(EcId, EcId)>,
+    /// Old id → post-compaction id for every pre-merge EC (its length is
+    /// the pre-merge EC count). An absorbed EC maps to its survivor's
+    /// new id, so EC-keyed caller state can be re-keyed directly without
+    /// consulting `merges`. Compaction renumbers even unmerged ECs —
+    /// always re-key through this table after a merge.
+    pub remap: Vec<EcId>,
+}
+
+impl MergeReport {
+    /// The post-compaction id now carrying `old`'s packets.
+    pub fn new_id(&self, old: EcId) -> EcId {
+        self.remap[old.0 as usize]
+    }
 }

@@ -180,10 +180,111 @@ fn merge_equivalent_restores_minimality() {
     m.apply_batch(vec![RuleUpdate::Remove(r)], UpdateOrder::AsGiven);
     // Two ECs with identical all-drop behaviour.
     assert_eq!(m.num_ecs(), 2);
-    let merges = m.merge_equivalent();
-    assert_eq!(merges.len(), 1);
+    let report = m.merge_equivalent();
+    assert_eq!(report.merges.len(), 1);
     assert_eq!(m.num_ecs(), 1);
     m.check_invariants();
+}
+
+#[test]
+fn duplicate_insert_is_idempotent() {
+    // Regression: inserting a rule identical to a stored one used to
+    // double-store it, so one Remove left a phantom copy behind.
+    let mut m = ApkModel::new();
+    let r = fwd(0, "10.3.0.0/16", 1);
+    m.apply_batch(vec![RuleUpdate::Insert(r.clone())], UpdateOrder::AsGiven);
+    assert_eq!(m.num_rules(), 1);
+    m.apply_batch(vec![RuleUpdate::Insert(r.clone())], UpdateOrder::AsGiven);
+    m.check_invariants();
+    assert_eq!(m.num_rules(), 1, "identical re-insert must not double-store");
+
+    let s = m.apply_batch(vec![RuleUpdate::Remove(r)], UpdateOrder::AsGiven);
+    m.check_invariants();
+    assert_eq!(m.num_rules(), 0, "one remove must clear the rule");
+    // And the packets actually fall back to the default action.
+    assert_eq!(s.affected.len(), 1);
+    assert_eq!(s.affected[0].new, PortAction::Drop);
+    let pkt = rc_bdd::pkt::Packet { dst_ip: 0x0A030001, ..Default::default() };
+    let k = ElementKey::Forward(NodeId(0));
+    assert_eq!(m.action(k, m.ec_of_packet(&pkt)), Some(&PortAction::Drop));
+}
+
+#[test]
+fn merge_report_remap_tracks_renumbering() {
+    // Regression: merge pairs alone are not enough to re-key EC state —
+    // compaction renumbers even unmerged ECs. The remap must map every
+    // pre-merge id to the live id now carrying its packets.
+    let mut m = ApkModel::new();
+    // Three ECs: the /16 (forwards), the /8 remainder (forwards
+    // elsewhere), everything else (drops).
+    m.apply_batch(
+        vec![
+            RuleUpdate::Insert(fwd(0, "10.0.0.0/8", 1)),
+            RuleUpdate::Insert(fwd(0, "10.1.0.0/16", 2)),
+        ],
+        UpdateOrder::AsGiven,
+    );
+    // Drop the /16 rule: its EC joins the /8 remainder behaviourally.
+    m.apply_batch(vec![RuleUpdate::Remove(fwd(0, "10.1.0.0/16", 2))], UpdateOrder::AsGiven);
+    assert_eq!(m.num_ecs(), 3);
+    let pkt_in_16 = rc_bdd::pkt::Packet { dst_ip: 0x0A010203, ..Default::default() };
+    let pkt_in_8 = rc_bdd::pkt::Packet { dst_ip: 0x0A800001, ..Default::default() };
+    let old_16 = m.ec_of_packet(&pkt_in_16);
+    let old_8 = m.ec_of_packet(&pkt_in_8);
+    assert_ne!(old_16, old_8);
+
+    let report = m.merge_equivalent();
+    m.check_invariants();
+    assert_eq!(report.merges.len(), 1);
+    assert_eq!(report.remap.len(), 3);
+    assert_eq!(m.num_ecs(), 2);
+    // Querying through the remap lands on the EC that carries each old
+    // id's packets now.
+    assert_eq!(report.new_id(old_16), m.ec_of_packet(&pkt_in_16));
+    assert_eq!(report.new_id(old_8), m.ec_of_packet(&pkt_in_8));
+    assert_eq!(report.new_id(old_16), report.new_id(old_8), "merged ids share a survivor");
+    // Every remapped id is live.
+    for old in 0..3u32 {
+        assert!((report.new_id(EcId(old)).0 as usize) < m.num_ecs());
+    }
+    let k = ElementKey::Forward(NodeId(0));
+    assert_eq!(
+        m.action(k, report.new_id(old_16)),
+        Some(&PortAction::forward(vec![IfaceId(1)]))
+    );
+}
+
+#[test]
+fn split_without_net_change_reports_no_affected() {
+    // A batch that inserts and removes an ACL slice splits an EC, but
+    // the child ends the batch on its pre-split action: ec_splits
+    // counts churn, affected (the net set driving policy re-checks)
+    // stays empty.
+    let mut m = ApkModel::new();
+    m.apply_batch(vec![RuleUpdate::Insert(fwd(0, "10.1.1.0/24", 1))], UpdateOrder::AsGiven);
+    let acl = ModelRule {
+        element: ElementKey::Filter(NodeId(0), IfaceId(1), Dir::Out),
+        priority: u32::MAX - 10,
+        rule_match: RuleMatch::Acl {
+            proto: Some(6),
+            src: Prefix::DEFAULT,
+            dst: "10.1.1.0/25".parse().unwrap(),
+            dst_ports: Some((80, 80)),
+        },
+        action: PortAction::Deny,
+    };
+    let s = m.apply_batch(
+        vec![RuleUpdate::Insert(acl.clone()), RuleUpdate::Remove(acl)],
+        UpdateOrder::InsertFirst,
+    );
+    m.check_invariants();
+    assert!(s.ec_splits >= 1, "the ACL slice must split an EC");
+    assert!(!s.splits.is_empty());
+    assert!(
+        s.affected.is_empty(),
+        "no net behaviour change, nothing to re-check: {:?}",
+        s.affected
+    );
 }
 
 #[test]

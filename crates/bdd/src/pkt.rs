@@ -139,6 +139,111 @@ impl Bdd {
         self.eval(pred, |v| pkt.bit(v))
     }
 
+    /// Bounds `(min, max)` of the destination-IP projection of `pred` —
+    /// the smallest and largest dst addresses carried by some satisfying
+    /// packet. `None` iff `pred` is unsatisfiable.
+    ///
+    /// Exact, in one walk per bound: the dst-ip block occupies the
+    /// topmost BDD variables, so below the first non-dst variable every
+    /// non-FALSE subtree accepts *some* completion, and within the dst
+    /// block the extreme is found greedily (prefer the hi/lo branch, fall
+    /// back to the sibling when it is FALSE; skipped variables are free
+    /// and take the extreme value).
+    pub fn pkt_dst_bounds(&self, pred: Ref) -> Option<(u32, u32)> {
+        if pred.is_false() {
+            return None;
+        }
+        let dst_width = Field::DstIp.width();
+        let extreme = |prefer_hi: bool| -> u32 {
+            // Free (untested) bits default to the extreme value.
+            let mut value = if prefer_hi { u32::MAX } else { 0 };
+            let mut r = pred;
+            while !r.is_true() && self.var_of(r) < dst_width {
+                let n = self.node(r);
+                let v = self.var_of(r);
+                let bit = 1u32 << (31 - v);
+                let (preferred, fallback) = if prefer_hi { (n.hi, n.lo) } else { (n.lo, n.hi) };
+                if !preferred.is_false() {
+                    r = preferred;
+                } else {
+                    // Forced onto the non-preferred branch: flip the bit.
+                    if prefer_hi {
+                        value &= !bit;
+                    } else {
+                        value |= bit;
+                    }
+                    r = fallback;
+                }
+            }
+            value
+        };
+        Some((extreme(false), extreme(true)))
+    }
+
+    /// The destination-IP projection of `pred` as a sorted list of
+    /// disjoint, non-adjacent inclusive intervals `[lo, hi]`: a dst
+    /// address is covered iff some packet carrying it satisfies `pred`.
+    /// Returns `None` (caller falls back to [`Self::pkt_dst_bounds`])
+    /// when the exact cover needs more than `cap` intervals — bounded
+    /// work: the walk aborts after `cap + 1` emissions.
+    pub fn pkt_dst_intervals(&self, pred: Ref, cap: usize) -> Option<Vec<(u32, u32)>> {
+        let mut out = Vec::new();
+        if self.dst_intervals_rec(pred, 0, 0, cap, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Emit the dst intervals of `r` restricted to the `2^(32-depth)`
+    /// block of addresses starting at `base`. Returns false once `out`
+    /// would exceed `cap`.
+    fn dst_intervals_rec(
+        &self,
+        r: Ref,
+        depth: u32,
+        base: u32,
+        cap: usize,
+        out: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        if r.is_false() {
+            return true;
+        }
+        // TRUE, a non-dst subtree, or an exhausted dst block: the whole
+        // address block projects true (any non-FALSE subtree is
+        // satisfiable in a reduced BDD).
+        if depth >= 32 || r.is_true() || self.var_of(r) >= Field::DstIp.width() {
+            let hi = if depth >= 32 { base } else { base | (u32::MAX >> depth) };
+            return Self::push_interval(out, base, hi, cap);
+        }
+        let bit = 1u32 << (31 - depth);
+        if self.var_of(r) == depth {
+            let n = self.node(r);
+            self.dst_intervals_rec(n.lo, depth + 1, base, cap, out)
+                && self.dst_intervals_rec(n.hi, depth + 1, base | bit, cap, out)
+        } else {
+            // Bit `depth` is free here: the projection repeats in both
+            // halves of the block.
+            self.dst_intervals_rec(r, depth + 1, base, cap, out)
+                && self.dst_intervals_rec(r, depth + 1, base | bit, cap, out)
+        }
+    }
+
+    /// Append `[lo, hi]`, merging with the previous interval when
+    /// adjacent (emission order is strictly ascending). False when the
+    /// result would exceed `cap` intervals.
+    fn push_interval(out: &mut Vec<(u32, u32)>, lo: u32, hi: u32, cap: usize) -> bool {
+        if let Some(last) = out.last_mut() {
+            debug_assert!(last.1 < lo);
+            if last.1 == lo - 1 {
+                last.1 = hi;
+                return true;
+            }
+        }
+        out.push((lo, hi));
+        out.len() <= cap
+    }
+
     /// Produce one packet satisfying `pred`, if any. Free bits are zero.
     pub fn pkt_witness(&self, pred: Ref) -> Option<Packet> {
         let cube = self.pick_cube(pred)?;
@@ -241,6 +346,86 @@ mod tests {
         assert_eq!(w.proto, 6);
         assert_eq!(w.dst_port, 80);
         assert_eq!(w.dst_ip >> 16, 0xC0A8);
+    }
+
+    #[test]
+    fn dst_bounds_of_prefix() {
+        let mut b = Bdd::new();
+        let p = b.pkt_prefix(Field::DstIp, 0x0A000000, 8); // 10/8
+        assert_eq!(b.pkt_dst_bounds(p), Some((0x0A000000, 0x0AFFFFFF)));
+        assert_eq!(b.pkt_dst_bounds(Ref::TRUE), Some((0, u32::MAX)));
+        assert_eq!(b.pkt_dst_bounds(Ref::FALSE), None);
+        // Non-dst constraints leave the dst projection full.
+        let tcp = b.pkt_value(Field::Proto, 6);
+        assert_eq!(b.pkt_dst_bounds(tcp), Some((0, u32::MAX)));
+    }
+
+    #[test]
+    fn dst_bounds_of_union_and_complement() {
+        let mut b = Bdd::new();
+        let p1 = b.pkt_prefix(Field::DstIp, 0x0A000000, 8); // 10/8
+        let p2 = b.pkt_prefix(Field::DstIp, 0xC0A80000, 16); // 192.168/16
+        let u = b.or(p1, p2);
+        assert_eq!(b.pkt_dst_bounds(u), Some((0x0A000000, 0xC0A8FFFF)));
+        // Complement of 10/8 still spans the full address range.
+        let n = b.not(p1);
+        assert_eq!(b.pkt_dst_bounds(n), Some((0, u32::MAX)));
+    }
+
+    #[test]
+    fn dst_intervals_exact_covers() {
+        let mut b = Bdd::new();
+        let p = b.pkt_prefix(Field::DstIp, 0x0A000000, 8);
+        assert_eq!(b.pkt_dst_intervals(p, 4), Some(vec![(0x0A000000, 0x0AFFFFFF)]));
+        // The complement is exactly two intervals (below and above 10/8)
+        // even though its hull is the whole space.
+        let n = b.not(p);
+        assert_eq!(
+            b.pkt_dst_intervals(n, 4),
+            Some(vec![(0, 0x09FFFFFF), (0x0B000000, u32::MAX)])
+        );
+        // A union of two disjoint prefixes gives two intervals.
+        let p2 = b.pkt_prefix(Field::DstIp, 0xC0A80000, 16);
+        let u = b.or(p, p2);
+        assert_eq!(
+            b.pkt_dst_intervals(u, 4),
+            Some(vec![(0x0A000000, 0x0AFFFFFF), (0xC0A80000, 0xC0A8FFFF)])
+        );
+        assert_eq!(b.pkt_dst_intervals(Ref::FALSE, 4), Some(vec![]));
+        assert_eq!(b.pkt_dst_intervals(Ref::TRUE, 4), Some(vec![(0, u32::MAX)]));
+    }
+
+    #[test]
+    fn dst_intervals_merge_adjacent() {
+        let mut b = Bdd::new();
+        // Two adjacent /9s reassemble into the /8.
+        let lo = b.pkt_prefix(Field::DstIp, 0x0A000000, 9);
+        let hi = b.pkt_prefix(Field::DstIp, 0x0A800000, 9);
+        let u = b.or(lo, hi);
+        assert_eq!(b.pkt_dst_intervals(u, 4), Some(vec![(0x0A000000, 0x0AFFFFFF)]));
+    }
+
+    #[test]
+    fn dst_intervals_cap_falls_back() {
+        let mut b = Bdd::new();
+        // dst odd (last bit set): 2^31 singleton intervals — must bail
+        // at the cap instead of materialising them.
+        let odd = b.var(31);
+        assert_eq!(b.pkt_dst_intervals(odd, 16), None);
+        assert_eq!(b.pkt_dst_bounds(odd), Some((1, u32::MAX)));
+    }
+
+    #[test]
+    fn dst_intervals_ignore_non_dst_constraints() {
+        let mut b = Bdd::new();
+        let pfx = b.pkt_prefix(Field::DstIp, 0xC0A80000, 16);
+        let tcp = b.pkt_value(Field::Proto, 6);
+        let both = b.and(pfx, tcp);
+        assert_eq!(b.pkt_dst_intervals(both, 4), Some(vec![(0xC0A80000, 0xC0A8FFFF)]));
+        // A range straddling octets stays one interval.
+        let r = b.pkt_range(Field::DstIp, 5000, 123456);
+        assert_eq!(b.pkt_dst_intervals(r, 8), Some(vec![(5000, 123456)]));
+        assert_eq!(b.pkt_dst_bounds(r), Some((5000, 123456)));
     }
 
     #[test]

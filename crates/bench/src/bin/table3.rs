@@ -1,17 +1,44 @@
 //! Regenerate the paper's Table 3: incremental model update and policy
 //! checking on the BGP fat tree, under both rule-update orders.
 //!
-//! Usage: `cargo run --release -p realconfig-bench --bin table3 [-- --k 12 --samples 10]`
+//! Usage: `cargo run --release -p realconfig-bench --bin table3 \
+//!   [-- --k 12 --samples 10 --out bench_results/table3.json \
+//!       --check <baseline.json> --full-scan]`
 //!
-//! Results are also written to `bench_results/table3.json`.
+//! `--check` compares this run's rows against a committed baseline on
+//! every non-timing field (the equivalence gate: the EC index must not
+//! change *what* the model computes, only how fast) and exits non-zero
+//! on any mismatch. `--full-scan` disables the EC candidate index — the
+//! ablation leg of the T1 A/B.
 
-use realconfig_bench::{fmt_us, run_table3};
+use realconfig_bench::{fmt_us, run_table3_opts, Table3Row};
+
+/// Fields of a Table3Row that must be byte-identical between an indexed
+/// and a full-scan run (everything except timings and the telemetry
+/// snapshot, which embeds timing histograms and index counters).
+const GATE_FIELDS: &[&str] = &[
+    "change",
+    "order",
+    "rules_inserted",
+    "rules_removed",
+    "rules_total",
+    "ec_moves",
+    "affected_ecs",
+    "affected_pairs",
+    "total_pairs",
+    "samples",
+];
 
 fn main() {
-    let (k, samples) = parse_args();
-    println!("Table 3 reproduction: BGP fat tree k={k}, {samples} sampled changes per type.\n");
+    let args = parse_args();
+    println!(
+        "Table 3 reproduction: BGP fat tree k={}, {} sampled changes per type{}.\n",
+        args.k,
+        args.samples,
+        if args.full_scan { " [EC index DISABLED: full-scan ablation]" } else { "" }
+    );
     eprintln!("building two verifiers per change type (insert-first / delete-first)…");
-    let rows = run_table3(k, samples, 0xC0FFEE);
+    let rows = run_table3_opts(args.k, args.samples, 0xC0FFEE, args.full_scan);
 
     println!(
         "== Measured (this machine; #Rules total {}, #Pairs total {}) ==",
@@ -35,12 +62,10 @@ fn main() {
             fmt_us(r.t2_us),
         );
     }
-    let rule_pct = |r: &realconfig_bench::Table3Row| {
+    let rule_pct = |r: &Table3Row| {
         100.0 * (r.rules_inserted + r.rules_removed) as f64 / r.rules_total as f64
     };
-    let pair_pct = |r: &realconfig_bench::Table3Row| {
-        100.0 * r.affected_pairs as f64 / r.total_pairs as f64
-    };
+    let pair_pct = |r: &Table3Row| 100.0 * r.affected_pairs as f64 / r.total_pairs as f64;
     println!(
         "\nAblation — incremental vs full policy checking: T2 {} vs full recheck {} ({}x)",
         fmt_us(rows[0].t2_us),
@@ -49,12 +74,7 @@ fn main() {
     );
     println!("\nAffected fractions (measured):");
     for r in rows.iter().step_by(2) {
-        println!(
-            "  {:<12} rules {:.2}%  pairs {:.2}%",
-            r.change,
-            rule_pct(r),
-            pair_pct(r)
-        );
+        println!("  {:<12} rules {:.2}%  pairs {:.2}%", r.change, rule_pct(r), pair_pct(r));
     }
 
     println!("\n== Paper (Table 3) ==");
@@ -74,32 +94,111 @@ fn main() {
         if small_fractions { "HOLDS" } else { "DOES NOT HOLD" },
     );
 
+    let rows_json = serde_json::to_string_pretty(&rows).expect("serializes");
+
+    // The equivalence gate runs before the output is written, so a
+    // baseline can double as the output path.
+    if let Some(baseline) = &args.check {
+        match check_gate(&rows_json, baseline) {
+            Ok(n) => println!(
+                "\nEquivalence gate vs {baseline}: {n} non-timing fields byte-identical — PASS"
+            ),
+            Err(msg) => {
+                eprintln!("\nEquivalence gate vs {baseline} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     std::fs::create_dir_all("bench_results").ok();
-    std::fs::write(
-        "bench_results/table3.json",
-        serde_json::to_string_pretty(&rows).expect("serializes"),
-    )
-    .expect("bench_results/table3.json written");
-    println!("Raw results: bench_results/table3.json");
+    std::fs::write(&args.out, rows_json).expect("results written");
+    println!("Raw results: {}", args.out);
 }
 
-fn parse_args() -> (u32, usize) {
-    let mut k = 12;
-    let mut samples = 10;
+/// Compare this run's rows against a baseline JSON file on every
+/// [`GATE_FIELDS`] entry. Returns the number of fields compared, or a
+/// description of every mismatch.
+fn check_gate(rows_json: &str, baseline_path: &str) -> Result<usize, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline = serde_json::from_str(&baseline_text)
+        .map_err(|e| format!("cannot parse baseline {baseline_path}: {e:?}"))?;
+    let current = serde_json::from_str(rows_json).expect("own output parses");
+    let (base_rows, cur_rows) = match (baseline.as_array(), current.as_array()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Err("baseline or current results are not a JSON array".into()),
+    };
+    if base_rows.len() != cur_rows.len() {
+        return Err(format!(
+            "row count mismatch: baseline {} vs current {}",
+            base_rows.len(),
+            cur_rows.len()
+        ));
+    }
+    let mut mismatches = Vec::new();
+    let mut compared = 0usize;
+    for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
+        for field in GATE_FIELDS {
+            let (bv, cv) = (b.get(field), c.get(field));
+            if bv != cv {
+                mismatches.push(format!(
+                    "  row {i} field {field:?}: baseline {bv:?} vs current {cv:?}"
+                ));
+            }
+            compared += 1;
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(compared)
+    } else {
+        Err(mismatches.join("\n"))
+    }
+}
+
+struct Args {
+    k: u32,
+    samples: usize,
+    out: String,
+    check: Option<String>,
+    full_scan: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        k: 12,
+        samples: 10,
+        out: "bench_results/table3.json".into(),
+        check: None,
+        full_scan: false,
+    };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--k" => {
-                k = args[i + 1].parse().expect("--k N");
+                parsed.k = args[i + 1].parse().expect("--k N");
                 i += 2;
             }
             "--samples" => {
-                samples = args[i + 1].parse().expect("--samples N");
+                parsed.samples = args[i + 1].parse().expect("--samples N");
                 i += 2;
             }
-            other => panic!("unknown argument {other:?} (expected --k / --samples)"),
+            "--out" => {
+                parsed.out = args[i + 1].clone();
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--full-scan" => {
+                parsed.full_scan = true;
+                i += 1;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --k / --samples / --out / --check / --full-scan)"
+            ),
         }
     }
-    (k, samples)
+    parsed
 }

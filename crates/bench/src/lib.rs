@@ -261,6 +261,15 @@ pub struct Table3Row {
 /// Regenerate Table 3: model update + policy checking on the BGP fat
 /// tree, for both update orders, averaged over sampled changes.
 pub fn run_table3(k: u32, samples: usize, seed: u64) -> Vec<Table3Row> {
+    run_table3_opts(k, samples, seed, false)
+}
+
+/// [`run_table3`] with an ablation switch: `full_scan` disables the EC
+/// model's dst-interval candidate index, reverting every rule transfer
+/// to the O(#ECs) scan. All non-timing fields are identical either way
+/// (the property suite and CI's equivalence gate enforce this); only
+/// T1 moves.
+pub fn run_table3_opts(k: u32, samples: usize, seed: u64, full_scan: bool) -> Vec<Table3Row> {
     let w = Workload::fat_tree(k, ProtocolChoice::Bgp);
     let ports = w.sample_ports(samples, seed);
     let mut rows = Vec::new();
@@ -269,6 +278,7 @@ pub fn run_table3(k: u32, samples: usize, seed: u64) -> Vec<Table3Row> {
         for order in [UpdateOrder::InsertFirst, UpdateOrder::DeleteFirst] {
             let (mut rc, _) =
                 RealConfig::with_order(w.configs.clone(), order).expect("workload verifies");
+            rc.set_ec_index_enabled(!full_scan);
             let mut acc = Table3Row {
                 change: change.label().into(),
                 order: match order {

@@ -61,8 +61,13 @@ pub struct ChangeReport {
     pub model_update: Duration,
     /// EC move events including transients (order-sensitive churn).
     pub ec_moves: usize,
+    /// EC splits performed, including splits whose child ended the
+    /// batch on its pre-split action — churn, like `ec_moves`, not a
+    /// measure of behaviour change.
     pub ec_splits: usize,
-    /// ECs whose behaviour changed somewhere (net).
+    /// ECs whose behaviour changed somewhere (net). This — not
+    /// `ec_splits`/`ec_moves` — is what drives the incremental policy
+    /// re-check.
     pub affected_ecs: usize,
 
     /// Stage 3: incremental policy checking.

@@ -105,6 +105,9 @@ pub struct RealConfig {
     grouper: FibGrouper,
     devices: BTreeSet<NodeId>,
     update_order: UpdateOrder,
+    /// Ablation/test support: run the EC model with its dst-interval
+    /// candidate index disabled (full O(#ECs) scans). Survives rebuilds.
+    model_full_scan: bool,
     /// Compact engine history every this many changes (None: never).
     auto_compact: Option<u32>,
     changes_since_compact: u32,
@@ -151,6 +154,7 @@ impl RealConfig {
             grouper: FibGrouper::default(),
             devices: BTreeSet::new(),
             update_order,
+            model_full_scan: false,
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
             telemetry: rc_telemetry::Telemetry::new(),
@@ -525,6 +529,7 @@ impl RealConfig {
         engine.set_telemetry(self.telemetry.clone());
         let mut model = ApkModel::new();
         model.set_telemetry(&self.telemetry);
+        model.set_full_scan(self.model_full_scan);
         let mut checker = PolicyChecker::new();
         checker.set_telemetry(&self.telemetry);
         let mut grouper = FibGrouper::default();
@@ -726,6 +731,17 @@ impl RealConfig {
     /// is [`DEFAULT_AUTO_COMPACT`].
     pub fn set_auto_compact(&mut self, interval: Option<u32>) {
         self.auto_compact = interval;
+    }
+
+    /// Enable/disable the EC model's dst-interval candidate index
+    /// (enabled by default). Disabling reverts rule transfers and
+    /// policy registration to the full O(#ECs) scan — results are
+    /// identical either way; this exists for A/B ablation (the `table3`
+    /// binary's `--full-scan`) and tests. The setting survives
+    /// [`RealConfig::rebuild`].
+    pub fn set_ec_index_enabled(&mut self, enabled: bool) {
+        self.model_full_scan = !enabled;
+        self.model.set_full_scan(!enabled);
     }
 }
 

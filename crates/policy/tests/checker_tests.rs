@@ -316,3 +316,51 @@ fn split_children_inherit_state() {
     assert!(checker.pair_ecs(n(0), n(2)).is_some(), "non-HTTP half still delivers");
     assert!(checker.num_pairs() >= pairs_before);
 }
+
+#[test]
+fn only_net_affected_drives_recheck() {
+    // Split-vs-affected: `BatchSummary.affected` (the net set) is what
+    // drives incremental policy work. A batch that splits an EC but
+    // leaves every child on its pre-split action must re-check nothing
+    // — splits only register the child ids, they trigger no policy
+    // re-evaluation on their own.
+    let Chain { mut model, mut checker } = chain();
+    let reach = checker.add_policy(
+        &mut model,
+        Policy::Reachability {
+            src: n(0),
+            dst: n(2),
+            class: PacketClass::DstPrefix(PFX.parse().unwrap()),
+        },
+    );
+    checker.check_full(&mut model);
+    assert!(checker.is_satisfied(reach));
+
+    // Insert and remove the same ACL slice in one batch: churn (a
+    // split, moves) with no net behaviour change.
+    let acl = ModelRule {
+        element: ElementKey::Filter(n(1), IfaceId(0), Dir::In),
+        priority: u32::MAX - 10,
+        rule_match: RuleMatch::Acl {
+            proto: Some(6),
+            src: Prefix::DEFAULT,
+            dst: "172.16.0.0/25".parse().unwrap(),
+            dst_ports: Some((80, 80)),
+        },
+        action: PortAction::Deny,
+    };
+    let summary = model.apply_batch(
+        vec![RuleUpdate::Insert(acl.clone()), RuleUpdate::Remove(acl)],
+        UpdateOrder::InsertFirst,
+    );
+    assert!(summary.ec_splits >= 1, "churn happened");
+    assert!(summary.ec_moves >= 1);
+    assert!(summary.affected.is_empty(), "but the net set is empty");
+
+    let report = checker.check_incremental(&mut model, &summary, BTreeSet::new());
+    assert_eq!(report.affected_ecs, 0, "no net change, no ECs re-analyzed");
+    assert_eq!(report.policies_checked, 0, "no policy re-evaluated");
+    assert_eq!(report.affected_pairs, 0);
+    assert!(report.newly_violated.is_empty() && report.newly_satisfied.is_empty());
+    assert!(checker.is_satisfied(reach));
+}
