@@ -33,7 +33,7 @@
 mod model;
 mod types;
 
-pub use model::ApkModel;
+pub use model::{ApkModel, EcView};
 pub use types::{
     AffectedEc, BatchSummary, EcId, ElementKey, MergeReport, ModelRule, PortAction, RuleMatch,
     RuleUpdate, UpdateOrder,

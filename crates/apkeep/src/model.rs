@@ -116,6 +116,63 @@ impl Element {
     }
 }
 
+/// A read-only snapshot view of the model's EC→port tables, detached
+/// from the BDD manager and every mutating structure.
+///
+/// Per-EC reachability walks only ever ask "what does element E do to
+/// EC e?" — a pure table lookup. Borrowing that lookup surface
+/// separately from [`ApkModel`] lets the policy checker fan walks
+/// across a thread pool (`EcView` is `Sync`: all fields are shared
+/// references to plain data) while the model's `&mut` surface (BDD
+/// ops, batch application) stays serialized between passes.
+///
+/// Invariants inherited from the model at snapshot time and unchanged
+/// for the view's lifetime (the borrow prevents any mutation):
+/// EC ids are dense in `0..num_ecs`, every element's `port_of_ec` has
+/// exactly `num_ecs` entries, and `ecs_on_port` inverts it.
+pub struct EcView<'a> {
+    num_ecs: usize,
+    element_index: &'a HashMap<ElementKey, usize>,
+    elements: Vec<ElemView<'a>>,
+}
+
+/// One element's lookup tables, borrowed.
+struct ElemView<'a> {
+    /// Port id → action (FIB groups: one logical port per ECMP action).
+    ports: &'a [PortAction],
+    /// EC id → port id.
+    port_of_ec: &'a [usize],
+    /// Inverted index: port id → ECs currently on it.
+    ecs_on_port: &'a [BTreeSet<u32>],
+}
+
+impl<'a> EcView<'a> {
+    /// Number of live ECs at snapshot time.
+    pub fn num_ecs(&self) -> usize {
+        self.num_ecs
+    }
+
+    /// All live EC ids, ascending.
+    pub fn ecs(&self) -> impl Iterator<Item = EcId> + 'a {
+        (0..self.num_ecs as u32).map(EcId)
+    }
+
+    /// The action an element applies to an EC (`None`: the element does
+    /// not exist — default behaviour). Mirrors [`ApkModel::action`].
+    pub fn action(&self, key: ElementKey, ec: EcId) -> Option<&'a PortAction> {
+        let e = &self.elements[*self.element_index.get(&key)?];
+        Some(&e.ports[e.port_of_ec[ec.0 as usize]])
+    }
+
+    /// The ECs an element currently maps to the given action, if the
+    /// element has such a port (inverted-index passthrough).
+    pub fn ecs_with_action(&self, key: ElementKey, action: &PortAction) -> Option<&'a BTreeSet<u32>> {
+        let e = &self.elements[*self.element_index.get(&key)?];
+        let port = e.ports.iter().position(|p| p == action)?;
+        Some(&e.ecs_on_port[port])
+    }
+}
+
 /// Sorted interval map over the ECs' destination-IP covers.
 ///
 /// Two mirrored views of the same interval set answer an intersection
@@ -284,6 +341,12 @@ struct ApkTelemetry {
     index_probes: Option<rc_telemetry::Counter>,
     index_skipped: Option<rc_telemetry::Counter>,
     index_fallbacks: Option<rc_telemetry::Counter>,
+    bdd_apply_hits: Option<rc_telemetry::Counter>,
+    bdd_apply_misses: Option<rc_telemetry::Counter>,
+    /// Totals already mirrored into the registry (the BDD keeps
+    /// cumulative counts; telemetry adds deltas).
+    bdd_hits_seen: u64,
+    bdd_misses_seen: u64,
 }
 
 impl ApkTelemetry {
@@ -302,6 +365,10 @@ impl ApkTelemetry {
             index_probes: None,
             index_skipped: None,
             index_fallbacks: None,
+            bdd_apply_hits: None,
+            bdd_apply_misses: None,
+            bdd_hits_seen: 0,
+            bdd_misses_seen: 0,
         }
     }
 
@@ -323,6 +390,17 @@ impl ApkTelemetry {
     fn index_fallbacks(&mut self) -> &rc_telemetry::Counter {
         self.index_fallbacks
             .get_or_insert_with(|| self.registry.counter("apkeep.index_fallbacks"))
+    }
+
+    /// BDD binary-op memo cache hits (lazily registered on first sync
+    /// that saw BDD work).
+    fn bdd_apply_hits(&mut self) -> &rc_telemetry::Counter {
+        self.bdd_apply_hits.get_or_insert_with(|| self.registry.counter("bdd.apply_hits"))
+    }
+
+    /// BDD binary-op memo cache misses.
+    fn bdd_apply_misses(&mut self) -> &rc_telemetry::Counter {
+        self.bdd_apply_misses.get_or_insert_with(|| self.registry.counter("bdd.apply_misses"))
     }
 }
 
@@ -394,6 +472,47 @@ impl ApkModel {
     /// The BDD manager (for witness extraction and custom predicates).
     pub fn bdd(&mut self) -> &mut Bdd {
         &mut self.bdd
+    }
+
+    /// Snapshot the EC→port lookup surface for read-only concurrent
+    /// walks (see [`EcView`]). The view borrows the model immutably, so
+    /// no batch or BDD operation can run while it is alive.
+    pub fn ec_view(&self) -> EcView<'_> {
+        EcView {
+            num_ecs: self.ec_preds.len(),
+            element_index: &self.element_index,
+            elements: self
+                .elements
+                .iter()
+                .map(|e| ElemView {
+                    ports: &e.ports,
+                    port_of_ec: &e.port_of_ec,
+                    ecs_on_port: &e.ecs_on_port,
+                })
+                .collect(),
+        }
+    }
+
+    /// Mirror the BDD manager's op-cache hit/miss totals into the
+    /// attached telemetry registry as `bdd.apply_hits` /
+    /// `bdd.apply_misses` (registered lazily, on the first sync that
+    /// observes BDD work). Called at natural sync points — batch end
+    /// and the end of each policy checking pass — so the counters lag
+    /// live BDD activity by at most one pipeline stage.
+    pub fn sync_bdd_telemetry(&mut self) {
+        let (hits, misses) = self.bdd.apply_cache_stats();
+        if let Some(tel) = &mut self.telemetry {
+            let dh = hits - tel.bdd_hits_seen;
+            let dm = misses - tel.bdd_misses_seen;
+            if dh > 0 {
+                tel.bdd_apply_hits().add(dh);
+                tel.bdd_hits_seen = hits;
+            }
+            if dm > 0 {
+                tel.bdd_apply_misses().add(dm);
+                tel.bdd_misses_seen = misses;
+            }
+        }
     }
 
     /// The action an element applies to an EC. `None` when the element
@@ -777,6 +896,7 @@ impl ApkModel {
             tel.elements.set(self.elements.len() as i64);
             tel.rules.set(self.num_rules() as i64);
         }
+        self.sync_bdd_telemetry();
         BatchSummary {
             affected,
             ec_moves: tx.moves,

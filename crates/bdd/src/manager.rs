@@ -86,6 +86,11 @@ pub struct Bdd {
     apply_cache: HashMap<(Op, Ref, Ref), Ref>,
     not_cache: HashMap<Ref, Ref>,
     ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+    /// Op-cache lookups that found a memoized result.
+    apply_hits: u64,
+    /// Op-cache lookups that missed and recursed (terminal shortcuts
+    /// are counted in neither bucket — they never consult the cache).
+    apply_misses: u64,
 }
 
 impl Default for Bdd {
@@ -104,7 +109,16 @@ impl Bdd {
             apply_cache: HashMap::new(),
             not_cache: HashMap::new(),
             ite_cache: HashMap::new(),
+            apply_hits: 0,
+            apply_misses: 0,
         }
+    }
+
+    /// Cumulative `(hits, misses)` of the binary-op memo cache — the
+    /// baseline signal for BDD performance work. A hit returns without
+    /// touching nodes; a miss pays the Shannon-expansion recursion.
+    pub fn apply_cache_stats(&self) -> (u64, u64) {
+        (self.apply_hits, self.apply_misses)
     }
 
     /// Number of live nodes (including the two terminals).
@@ -165,8 +179,10 @@ impl Bdd {
         }
         let key = if op.commutative() && b < a { (op, b, a) } else { (op, a, b) };
         if let Some(&r) = self.apply_cache.get(&key) {
+            self.apply_hits += 1;
             return r;
         }
+        self.apply_misses += 1;
         let (va, vb) = (self.var_of(a), self.var_of(b));
         let v = va.min(vb);
         let (a_lo, a_hi) = if va == v {
@@ -446,5 +462,27 @@ mod tests {
         let lo = b.var(1);
         let f = b.or(lo, hi);
         assert_eq!(b.var_of(f), 1);
+    }
+
+    #[test]
+    fn apply_cache_stats_count_hits_and_misses() {
+        let mut b = Bdd::new();
+        let x = b.var(0);
+        let y = b.var(1);
+        assert_eq!(b.apply_cache_stats(), (0, 0), "fresh manager");
+        // Terminal shortcuts never consult the cache.
+        let _ = b.and(x, Ref::TRUE);
+        assert_eq!(b.apply_cache_stats(), (0, 0));
+        // First non-trivial op: misses only.
+        let _ = b.and(x, y);
+        let (h1, m1) = b.apply_cache_stats();
+        assert_eq!(h1, 0);
+        assert!(m1 > 0);
+        // Same op again: one top-level hit, no new misses.
+        let _ = b.and(x, y);
+        assert_eq!(b.apply_cache_stats(), (1, m1));
+        // Commutative normalization: the swapped operands hit too.
+        let _ = b.and(y, x);
+        assert_eq!(b.apply_cache_stats(), (2, m1));
     }
 }

@@ -1,0 +1,223 @@
+//! Thread-scaling smoke bench for the parallel policy-checking phase.
+//!
+//! Usage: `cargo run --release -p realconfig-bench --bin parallel \
+//!   [-- --k 6 --samples 4 --reps 3 --threads 1,2,4 \
+//!       --out bench_results/parallel.json --check <baseline.json>]`
+//!
+//! One verifier per worker count is driven through the same workload —
+//! a full policy pass and a LinkFailure churn leg — with repetitions
+//! interleaved across worker counts so machine noise hits every
+//! configuration equally. Structural results (ECs, pairs, verdicts)
+//! must be identical for every worker count; the binary asserts that
+//! before reporting timings, and `--check` additionally gates them
+//! against a committed baseline. Timings are medians; `host_cores`
+//! records how much hardware parallelism was actually available (on a
+//! single-core host the >1-thread legs measure overhead, not speedup).
+
+use rc_netcfg::gen::ProtocolChoice;
+use rc_netcfg::topology::host_prefix;
+use realconfig::RealConfig;
+use realconfig_bench::{check_gate, fmt_us, PaperChange, Workload};
+use serde::Serialize;
+use std::time::Instant;
+
+/// Fields that must be byte-identical across worker counts and runs.
+const GATE_FIELDS: &[&str] = &["threads", "k", "nodes", "links", "samples", "ecs", "pairs"];
+
+#[derive(Serialize)]
+struct ParallelRow {
+    threads: usize,
+    k: u32,
+    nodes: usize,
+    links: usize,
+    samples: usize,
+    reps: usize,
+    ecs: usize,
+    pairs: usize,
+    /// Median wall time of one full policy pass, µs.
+    check_full_us: u128,
+    /// Median wall time of the LinkFailure apply+restore churn leg
+    /// (`samples` changes), µs.
+    churn_wall_us: u128,
+    /// Hardware threads the host actually had during the run.
+    host_cores: usize,
+    note: String,
+}
+
+fn median(mut v: Vec<u128>) -> u128 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "Parallel policy-check scaling: BGP fat tree k={}, {} changes × {} reps, \
+         worker counts {:?}, host cores {}.\n",
+        args.k, args.samples, args.reps, args.threads, host_cores
+    );
+
+    let w = Workload::fat_tree(args.k, ProtocolChoice::Bgp);
+    let ports = w.sample_ports(args.samples, 0xC0FFEE);
+
+    // One verifier per worker count, identical workload and policies.
+    let mut rcs: Vec<(usize, RealConfig)> = Vec::new();
+    for &t in &args.threads {
+        eprintln!("[threads={t}] building verifier…");
+        let (mut rc, _) = RealConfig::new(w.configs.clone()).expect("workload verifies");
+        rc.set_threads(Some(t));
+        rc.require_reachability("pod00-edge00", "pod01-edge00", host_prefix(2))
+            .expect("devices exist");
+        rc.add_policy(realconfig::Policy::LoopFree { class: realconfig::PacketClass::All });
+        rc.recheck_policies();
+        rcs.push((t, rc));
+    }
+
+    // Structural determinism across worker counts, before any timing.
+    let (ecs0, pairs0) = (rcs[0].1.num_ecs(), rcs[0].1.num_pairs());
+    for (t, rc) in &rcs {
+        assert_eq!(rc.num_ecs(), ecs0, "threads={t}: EC count diverged");
+        assert_eq!(rc.num_pairs(), pairs0, "threads={t}: pair count diverged");
+    }
+
+    // Interleave reps across worker counts so noise is shared.
+    let mut full_us = vec![Vec::new(); rcs.len()];
+    let mut churn_us = vec![Vec::new(); rcs.len()];
+    for rep in 0..args.reps {
+        for (i, (t, rc)) in rcs.iter_mut().enumerate() {
+            let start = Instant::now();
+            rc.recheck_policies();
+            full_us[i].push(start.elapsed().as_micros());
+
+            let start = Instant::now();
+            for port in &ports {
+                let (apply, restore) = w.change_at(PaperChange::LinkFailure, port);
+                rc.apply_change(&apply).expect("change verifies");
+                rc.apply_change(&restore).expect("restore verifies");
+            }
+            churn_us[i].push(start.elapsed().as_micros());
+            eprintln!(
+                "[rep {rep}] threads={t}: full {} churn {}",
+                fmt_us(*full_us[i].last().unwrap()),
+                fmt_us(*churn_us[i].last().unwrap())
+            );
+        }
+    }
+
+    let rows: Vec<ParallelRow> = rcs
+        .iter()
+        .enumerate()
+        .map(|(i, (t, rc))| ParallelRow {
+            threads: *t,
+            k: args.k,
+            nodes: w.topo.num_devices(),
+            links: w.topo.num_links(),
+            samples: ports.len(),
+            reps: args.reps,
+            ecs: rc.num_ecs(),
+            pairs: rc.num_pairs(),
+            check_full_us: median(full_us[i].clone()),
+            churn_wall_us: median(churn_us[i].clone()),
+            host_cores,
+            note: if host_cores > 1 {
+                String::new()
+            } else {
+                "single-core host: >1-thread legs measure pool overhead, not speedup".into()
+            },
+        })
+        .collect();
+
+    println!("\n{:<8} {:>14} {:>14}", "Threads", "check_full", "churn wall");
+    for r in &rows {
+        println!("{:<8} {:>14} {:>14}", r.threads, fmt_us(r.check_full_us), fmt_us(r.churn_wall_us));
+    }
+    let base = rows.iter().find(|r| r.threads == 1);
+    if let Some(base) = base {
+        for r in rows.iter().filter(|r| r.threads > 1) {
+            println!(
+                "threads={} speedup over serial: check_full {:.2}x, churn {:.2}x",
+                r.threads,
+                base.check_full_us as f64 / r.check_full_us.max(1) as f64,
+                base.churn_wall_us as f64 / r.churn_wall_us.max(1) as f64,
+            );
+        }
+    }
+    if host_cores == 1 {
+        println!("NOTE: single-core host — scaling cannot manifest; structural gate still applies.");
+    }
+
+    let rows_json = serde_json::to_string_pretty(&rows).expect("serializes");
+    if let Some(baseline) = &args.check {
+        match check_gate(&rows_json, baseline, GATE_FIELDS) {
+            Ok(n) => println!(
+                "\nEquivalence gate vs {baseline}: {n} structural fields byte-identical — PASS"
+            ),
+            Err(msg) => {
+                eprintln!("\nEquivalence gate vs {baseline} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+    std::fs::create_dir_all("bench_results").ok();
+    std::fs::write(&args.out, rows_json).expect("results written");
+    println!("Raw results: {}", args.out);
+}
+
+struct Args {
+    k: u32,
+    samples: usize,
+    reps: usize,
+    threads: Vec<usize>,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        k: 6,
+        samples: 4,
+        reps: 3,
+        threads: vec![1, 2, 4],
+        out: "bench_results/parallel.json".into(),
+        check: None,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--k" => {
+                parsed.k = args[i + 1].parse().expect("--k N");
+                i += 2;
+            }
+            "--samples" => {
+                parsed.samples = args[i + 1].parse().expect("--samples N");
+                i += 2;
+            }
+            "--reps" => {
+                parsed.reps = args[i + 1].parse().expect("--reps N");
+                i += 2;
+            }
+            "--threads" => {
+                parsed.threads = args[i + 1]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--threads N,N,…"))
+                    .collect();
+                i += 2;
+            }
+            "--out" => {
+                parsed.out = args[i + 1].clone();
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --k / --samples / --reps / --threads / --out / --check)"
+            ),
+        }
+    }
+    assert!(!parsed.threads.is_empty(), "--threads needs at least one worker count");
+    parsed
+}

@@ -1,23 +1,35 @@
 //! Regenerate the paper's Table 2: average data plane generation time
 //! on the fat-tree network, from scratch vs incrementally.
 //!
-//! Usage: `cargo run --release -p realconfig-bench --bin table2 [-- --k 12 --samples 10]`
+//! Usage: `cargo run --release -p realconfig-bench --bin table2 \
+//!   [-- --k 12 --samples 10 --out bench_results/table2.json \
+//!       --check <baseline.json>]`
 //!
-//! `--k 12` is the paper's topology (180 nodes, 864 links). Results are
-//! also written as JSON to `bench_results/table2.json`.
+//! `--k 12` is the paper's topology (180 nodes, 864 links). `--check`
+//! compares this run's structural fields (protocol, topology size,
+//! sample count — everything a perf knob must not change) against a
+//! committed baseline and exits non-zero on mismatch.
 
 use rc_netcfg::gen::ProtocolChoice;
-use realconfig_bench::{fmt_us, run_table2};
+use realconfig_bench::{check_gate, fmt_us, run_table2};
+
+/// Fields of a Table2Row that must be byte-identical across perf knobs
+/// (worker count, EC index): everything except timings and the
+/// telemetry snapshot.
+const GATE_FIELDS: &[&str] = &["proto", "k", "nodes", "links", "samples"];
 
 fn main() {
-    let (k, samples) = parse_args();
-    println!("Table 2 reproduction: fat tree k={k}, {samples} sampled changes per type.\n");
+    let args = parse_args();
+    println!(
+        "Table 2 reproduction: fat tree k={}, {} sampled changes per type.\n",
+        args.k, args.samples
+    );
 
     let mut rows = Vec::new();
     for proto in [ProtocolChoice::Ospf, ProtocolChoice::Bgp] {
         let label = if proto == ProtocolChoice::Ospf { "OSPF" } else { "BGP" };
         eprintln!("[{label}] building and measuring…");
-        let row = run_table2(k, proto, samples, 0xC0FFEE);
+        let row = run_table2(args.k, proto, args.samples, 0xC0FFEE);
         eprintln!(
             "[{label}] done: full={} incremental: LinkFailure={} LC/LP={}",
             fmt_us(row.rc_full_us),
@@ -64,32 +76,61 @@ fn main() {
         if rows.iter().all(|r| r.baseline_full_us <= r.rc_full_us) { "HOLDS" } else { "MIXED" }
     );
 
+    let rows_json = serde_json::to_string_pretty(&rows).expect("serializes");
+
+    // The equivalence gate runs before the output is written, so a
+    // baseline can double as the output path.
+    if let Some(baseline) = &args.check {
+        match check_gate(&rows_json, baseline, GATE_FIELDS) {
+            Ok(n) => println!(
+                "\nEquivalence gate vs {baseline}: {n} structural fields byte-identical — PASS"
+            ),
+            Err(msg) => {
+                eprintln!("\nEquivalence gate vs {baseline} FAILED:\n{msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     std::fs::create_dir_all("bench_results").ok();
-    std::fs::write(
-        "bench_results/table2.json",
-        serde_json::to_string_pretty(&rows).expect("serializes"),
-    )
-    .expect("bench_results/table2.json written");
-    println!("Raw results: bench_results/table2.json");
+    std::fs::write(&args.out, rows_json).expect("results written");
+    println!("Raw results: {}", args.out);
 }
 
-fn parse_args() -> (u32, usize) {
-    let mut k = 12;
-    let mut samples = 10;
+struct Args {
+    k: u32,
+    samples: usize,
+    out: String,
+    check: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed =
+        Args { k: 12, samples: 10, out: "bench_results/table2.json".into(), check: None };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--k" => {
-                k = args[i + 1].parse().expect("--k N");
+                parsed.k = args[i + 1].parse().expect("--k N");
                 i += 2;
             }
             "--samples" => {
-                samples = args[i + 1].parse().expect("--samples N");
+                parsed.samples = args[i + 1].parse().expect("--samples N");
                 i += 2;
             }
-            other => panic!("unknown argument {other:?} (expected --k / --samples)"),
+            "--out" => {
+                parsed.out = args[i + 1].clone();
+                i += 2;
+            }
+            "--check" => {
+                parsed.check = Some(args[i + 1].clone());
+                i += 2;
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --k / --samples / --out / --check)"
+            ),
         }
     }
-    (k, samples)
+    parsed
 }

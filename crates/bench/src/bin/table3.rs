@@ -11,7 +11,7 @@
 //! on any mismatch. `--full-scan` disables the EC candidate index — the
 //! ablation leg of the T1 A/B.
 
-use realconfig_bench::{fmt_us, run_table3_opts, Table3Row};
+use realconfig_bench::{check_gate, fmt_us, run_table3_opts, Table3Row};
 
 /// Fields of a Table3Row that must be byte-identical between an indexed
 /// and a full-scan run (everything except timings and the telemetry
@@ -99,7 +99,7 @@ fn main() {
     // The equivalence gate runs before the output is written, so a
     // baseline can double as the output path.
     if let Some(baseline) = &args.check {
-        match check_gate(&rows_json, baseline) {
+        match check_gate(&rows_json, baseline, GATE_FIELDS) {
             Ok(n) => println!(
                 "\nEquivalence gate vs {baseline}: {n} non-timing fields byte-identical — PASS"
             ),
@@ -113,46 +113,6 @@ fn main() {
     std::fs::create_dir_all("bench_results").ok();
     std::fs::write(&args.out, rows_json).expect("results written");
     println!("Raw results: {}", args.out);
-}
-
-/// Compare this run's rows against a baseline JSON file on every
-/// [`GATE_FIELDS`] entry. Returns the number of fields compared, or a
-/// description of every mismatch.
-fn check_gate(rows_json: &str, baseline_path: &str) -> Result<usize, String> {
-    let baseline_text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let baseline = serde_json::from_str(&baseline_text)
-        .map_err(|e| format!("cannot parse baseline {baseline_path}: {e:?}"))?;
-    let current = serde_json::from_str(rows_json).expect("own output parses");
-    let (base_rows, cur_rows) = match (baseline.as_array(), current.as_array()) {
-        (Some(b), Some(c)) => (b, c),
-        _ => return Err("baseline or current results are not a JSON array".into()),
-    };
-    if base_rows.len() != cur_rows.len() {
-        return Err(format!(
-            "row count mismatch: baseline {} vs current {}",
-            base_rows.len(),
-            cur_rows.len()
-        ));
-    }
-    let mut mismatches = Vec::new();
-    let mut compared = 0usize;
-    for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
-        for field in GATE_FIELDS {
-            let (bv, cv) = (b.get(field), c.get(field));
-            if bv != cv {
-                mismatches.push(format!(
-                    "  row {i} field {field:?}: baseline {bv:?} vs current {cv:?}"
-                ));
-            }
-            compared += 1;
-        }
-    }
-    if mismatches.is_empty() {
-        Ok(compared)
-    } else {
-        Err(mismatches.join("\n"))
-    }
 }
 
 struct Args {

@@ -333,6 +333,50 @@ pub fn run_table3_opts(k: u32, samples: usize, seed: u64, full_scan: bool) -> Ve
     rows
 }
 
+/// Compare a run's serialized rows against a committed baseline JSON
+/// file on every field named in `fields` (the non-timing equivalence
+/// gate shared by the `table2`, `table3` and `parallel` binaries: a
+/// perf knob — EC index, worker count — must not change *what* is
+/// computed, only how fast). Returns the number of fields compared, or
+/// a description of every mismatch.
+pub fn check_gate(rows_json: &str, baseline_path: &str, fields: &[&str]) -> Result<usize, String> {
+    let baseline_text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline: serde_json::Value = serde_json::from_str(&baseline_text)
+        .map_err(|e| format!("cannot parse baseline {baseline_path}: {e:?}"))?;
+    let current: serde_json::Value =
+        serde_json::from_str(rows_json).map_err(|e| format!("own output does not parse: {e:?}"))?;
+    let (base_rows, cur_rows) = match (baseline.as_array(), current.as_array()) {
+        (Some(b), Some(c)) => (b, c),
+        _ => return Err("baseline or current results are not a JSON array".into()),
+    };
+    if base_rows.len() != cur_rows.len() {
+        return Err(format!(
+            "row count mismatch: baseline {} vs current {}",
+            base_rows.len(),
+            cur_rows.len()
+        ));
+    }
+    let mut mismatches = Vec::new();
+    let mut compared = 0usize;
+    for (i, (b, c)) in base_rows.iter().zip(cur_rows).enumerate() {
+        for field in fields {
+            let (bv, cv) = (b.get(field), c.get(field));
+            if bv != cv {
+                mismatches.push(format!(
+                    "  row {i} field {field:?}: baseline {bv:?} vs current {cv:?}"
+                ));
+            }
+            compared += 1;
+        }
+    }
+    if mismatches.is_empty() {
+        Ok(compared)
+    } else {
+        Err(mismatches.join("\n"))
+    }
+}
+
 /// Format a duration in the paper's style.
 pub fn fmt_us(us: u128) -> String {
     if us >= 1_000_000 {

@@ -2,8 +2,8 @@
 //! verifier.
 //!
 //! ```text
-//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--metrics FILE]
-//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--metrics FILE]
+//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--metrics FILE]
+//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--metrics FILE]
 //! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]
 //! ```
 //!
@@ -16,6 +16,11 @@
 //! telemetry snapshot (per-operator dataflow work, EC model state,
 //! policy checker latencies) as JSON after the run — on failure, the
 //! snapshot-so-far is still written, for post-mortem inspection.
+//!
+//! `--threads N` sets the worker count of the parallel policy-checking
+//! phase (default: the `RC_THREADS` environment variable, then the
+//! machine's available parallelism; `1` forces the serial path).
+//! Reports are byte-identical for any worker count.
 //!
 //! `diff --recover` verifies the change with the self-healing path
 //! ([`RealConfig::apply_configs_or_rebuild`]): if the incremental
@@ -50,8 +55,8 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]...\n  \
-                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover]\n  \
+                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N]\n  \
+                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N]\n  \
                  realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]"
             );
             return ExitCode::from(2);
@@ -232,6 +237,21 @@ fn register_policies(
     Ok(out)
 }
 
+/// Parse an optional `--threads N` flag and, when present, install it
+/// as the process-global worker-count knob (so the construction-time
+/// full check parallelizes too, not just later passes).
+fn apply_threads_flag(args: &[String]) -> Result<(), CliError> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(());
+    };
+    let n: usize = args.get(i + 1).ok_or("--threads needs a worker count")?.parse()?;
+    if n == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    realconfig::set_threads(n);
+    Ok(())
+}
+
 /// Parse an optional `--metrics <path>` flag.
 fn parse_metrics_path(args: &[String]) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == "--metrics") {
@@ -263,6 +283,7 @@ fn dump_metrics_on_failure(rc: &RealConfig, path: Option<&str>) {
 
 fn cmd_verify(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("verify needs a config directory")?;
+    apply_threads_flag(args)?;
     let configs = load_dir(dir)?;
     let n = configs.len();
     let (mut rc, report) = RealConfig::new(configs)?;
@@ -292,6 +313,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, CliError> {
     let new_dir = args.get(1).ok_or("diff needs <old-dir> <new-dir>")?;
     let json = args.iter().any(|a| a == "--json");
     let recover = args.iter().any(|a| a == "--recover");
+    apply_threads_flag(args)?;
     let metrics_path = parse_metrics_path(args)?;
     let old = load_dir(old_dir)?;
     let new = load_dir(new_dir)?;

@@ -64,6 +64,10 @@ pub use verifier::{
 pub use rc_bdd::pkt::Packet;
 
 // Re-export the pieces a downstream user needs to drive the verifier.
+// `set_threads`/`threads` are the process-global worker-count knob for
+// the parallel policy-checking phase (per-verifier override:
+// `RealConfig::set_threads`).
+pub use rc_par::{set_threads, threads};
 pub use rc_apkeep::UpdateOrder;
 pub use rc_telemetry::{MetricsSnapshot, Telemetry};
 pub use rc_netcfg::change::{AclDir, ChangeOp, ChangeSet, RedistTarget};

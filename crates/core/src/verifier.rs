@@ -108,6 +108,9 @@ pub struct RealConfig {
     /// Ablation/test support: run the EC model with its dst-interval
     /// candidate index disabled (full O(#ECs) scans). Survives rebuilds.
     model_full_scan: bool,
+    /// Worker-count override for the checker's parallel walk phase
+    /// (`None`: the process-global `rc_par` knob). Survives rebuilds.
+    threads: Option<usize>,
     /// Compact engine history every this many changes (None: never).
     auto_compact: Option<u32>,
     changes_since_compact: u32,
@@ -155,6 +158,7 @@ impl RealConfig {
             devices: BTreeSet::new(),
             update_order,
             model_full_scan: false,
+            threads: None,
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
             telemetry: rc_telemetry::Telemetry::new(),
@@ -532,6 +536,7 @@ impl RealConfig {
         model.set_full_scan(self.model_full_scan);
         let mut checker = PolicyChecker::new();
         checker.set_telemetry(&self.telemetry);
+        checker.set_threads(self.threads);
         let mut grouper = FibGrouper::default();
 
         let lowered = lower(&configs, &mut self.registry);
@@ -742,6 +747,22 @@ impl RealConfig {
     pub fn set_ec_index_enabled(&mut self, enabled: bool) {
         self.model_full_scan = !enabled;
         self.model.set_full_scan(!enabled);
+    }
+
+    /// Override the worker count for this verifier's parallel policy
+    /// checking (`None` falls back to the process-global knob —
+    /// [`rc_par::set_threads`] / the `RC_THREADS` environment variable /
+    /// available parallelism; `Some(1)` forces the exact serial path).
+    /// Results are byte-identical for any worker count. The setting
+    /// survives [`RealConfig::rebuild`].
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+        self.checker.set_threads(threads);
+    }
+
+    /// The per-verifier worker-count override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
     }
 }
 

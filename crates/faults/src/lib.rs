@@ -37,6 +37,7 @@
 
 use std::cell::RefCell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An instrumented point in the verification pipeline. One per stage
 /// boundary of the paper's three-stage pipeline.
@@ -226,6 +227,59 @@ pub fn fire(point: FaultPoint) -> bool {
     })
 }
 
+/// Process-global one-shot walk-panic point.
+///
+/// [`FaultPlan`]s are strictly thread-local, which is exactly wrong for
+/// the one place the pipeline fans work out to pool workers: the policy
+/// checker's per-EC forwarding walks. To prove a panic on a *non-main*
+/// worker still poisons the verifier (instead of deadlocking or being
+/// swallowed), tests arm this global point with a target EC id; the
+/// first walk of that EC — on whichever thread the pool scheduled it —
+/// panics with the [`INJECTED_PANIC_PREFIX`] marker, and the point
+/// disarms itself atomically so the post-recovery rebuild walks clean.
+///
+/// `u64::MAX` means disarmed; EC ids are `u32`, so every real id fits,
+/// and [`WALK_WILDCARD`] ("the next walk of *any* EC") fits in between.
+static WALK_PANIC_TARGET: AtomicU64 = AtomicU64::new(u64::MAX);
+
+const WALK_WILDCARD: u64 = u64::MAX - 1;
+
+/// Arm the global walk-panic point for EC `ec` (one-shot; replaces any
+/// previously armed target).
+pub fn arm_walk_panic(ec: u32) {
+    WALK_PANIC_TARGET.store(ec as u64, Ordering::SeqCst);
+}
+
+/// Arm the global walk-panic point for the next walk of *any* EC — for
+/// callers that cannot predict which EC ids a change will touch.
+pub fn arm_walk_panic_any() {
+    WALK_PANIC_TARGET.store(WALK_WILDCARD, Ordering::SeqCst);
+}
+
+/// Disarm the global walk-panic point (idempotent; for test cleanup
+/// when the armed EC was never walked).
+pub fn disarm_walk_panic() {
+    WALK_PANIC_TARGET.store(u64::MAX, Ordering::SeqCst);
+}
+
+/// The walk hook. The policy checker calls this at the top of every
+/// per-EC forwarding walk, on whatever worker thread runs it. Disarmed
+/// (the overwhelmingly common case) it is a single relaxed atomic load.
+/// If armed for `ec`, exactly one caller wins the disarming
+/// compare-exchange and panics with the injected-fault marker.
+pub fn fire_walk(ec: u32) {
+    let armed = WALK_PANIC_TARGET.load(Ordering::Relaxed);
+    if armed != ec as u64 && armed != WALK_WILDCARD {
+        return;
+    }
+    if WALK_PANIC_TARGET
+        .compare_exchange(armed, u64::MAX, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        panic!("{INJECTED_PANIC_PREFIX} panic in forwarding walk of EC {ec}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,6 +334,34 @@ mod tests {
         }
         assert!(!is_active());
         assert!(!fire(FaultPoint::EngineApply));
+    }
+
+    /// The walk point is process-global; serialize the tests that use
+    /// it (the harness runs tests on parallel threads).
+    static WALK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn walk_panic_is_targeted_and_one_shot() {
+        let _l = WALK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_walk_panic();
+        fire_walk(7); // disarmed: no-op
+        arm_walk_panic(7);
+        fire_walk(3); // wrong EC: no-op
+        let err = std::panic::catch_unwind(|| fire_walk(7)).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+        fire_walk(7); // self-disarmed: no-op
+    }
+
+    #[test]
+    fn walk_panic_wildcard_hits_the_next_walk() {
+        let _l = WALK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_walk_panic();
+        arm_walk_panic_any();
+        let err = std::panic::catch_unwind(|| fire_walk(42)).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+        fire_walk(42); // one-shot
     }
 
     #[test]

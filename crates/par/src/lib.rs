@@ -1,0 +1,334 @@
+//! A dependency-free scoped work-stealing thread pool.
+//!
+//! Built on [`std::thread::scope`], so parallel closures may borrow
+//! from the caller's stack — exactly what the policy checker needs to
+//! fan read-only per-EC walks over an `EcView` snapshot without any
+//! `'static` bound or reference counting.
+//!
+//! Design:
+//!
+//! * **Chunked, order-preserving map.** [`par_map_indexed`] splits the
+//!   input into contiguous index ranges (several chunks per worker, so
+//!   stealing has something to steal), runs `f(i, &items[i])` on pool
+//!   workers, and reassembles the results **in input order** — callers
+//!   observe exactly the serial output, independent of scheduling.
+//! * **Per-worker deques.** Each worker owns a deque of chunk ranges,
+//!   dealt contiguously for locality; it pops its own work from the
+//!   front (ascending ranges) and steals from the *back* of the next
+//!   busy neighbour (the range farthest from the victim's working set).
+//! * **Panic propagation.** Each item runs under `catch_unwind`; the
+//!   first observed panic poisons the pool (other workers drain and
+//!   stop at the next item boundary) and the payload with the lowest
+//!   item index is re-thrown on the caller's thread by
+//!   [`std::panic::resume_unwind`]. To a `catch_unwind`-ing caller — the
+//!   verifier's transactional apply — a worker panic is
+//!   indistinguishable from a panic in serial code, so the PR 3
+//!   poisoning contract composes unchanged.
+//! * **Thread-count knob.** [`threads`] resolves, in order:
+//!   [`set_threads`] (process-global override), the `RC_THREADS`
+//!   environment variable (read once), and
+//!   [`std::thread::available_parallelism`]. `1` takes an exact serial
+//!   path: `f` runs on the caller's thread, in input order, with no
+//!   pool machinery at all.
+//!
+//! Determinism: the *results* of a map are always deterministic (input
+//! order, pure reassembly). The *stats* (steal counts, per-worker busy
+//! time) are scheduling-dependent by nature and are exposed only as
+//! telemetry, never folded into results.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Aim for this many chunks per worker, so a worker that finishes early
+/// has ranges left to steal without making chunks so small that deque
+/// traffic dominates.
+const CHUNKS_PER_WORKER: usize = 8;
+
+/// Process-global thread-count override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// `RC_THREADS`, parsed once on first use.
+static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+/// Set the process-global worker count. `n = 1` forces the exact serial
+/// path everywhere; `n = 0` clears the override, reverting to
+/// `RC_THREADS` / available parallelism.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The resolved worker count: [`set_threads`] override, else the
+/// `RC_THREADS` environment variable (read once per process), else
+/// [`std::thread::available_parallelism`], else 1.
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    let env = ENV_THREADS.get_or_init(|| {
+        std::env::var("RC_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&n: &usize| n > 0)
+    });
+    if let Some(n) = *env {
+        return n;
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Scheduling statistics of one [`par_map_indexed_in`] call — telemetry
+/// material only (results never depend on them).
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Workers that actually ran (1 on the serial path).
+    pub workers: usize,
+    /// Chunk tasks executed.
+    pub tasks: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Wall-clock each worker spent in its run loop, µs.
+    pub busy_us: Vec<u64>,
+}
+
+/// `(lowest item index, panic payload)` of the first panic kept.
+type PanicSlot = Mutex<Option<(usize, Box<dyn Any + Send>)>>;
+
+/// Map `f` over `items` on the global worker count ([`threads`]),
+/// returning results in input order. See [`par_map_indexed_in`].
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_indexed_in(threads(), items, f).0
+}
+
+/// Map `f` over `items` on `nthreads` workers, returning results in
+/// input order plus the run's [`PoolStats`].
+///
+/// `nthreads <= 1` (or fewer than two items) is the exact serial path:
+/// `f(0, ..), f(1, ..), …` on the caller's thread. Otherwise the
+/// caller's thread participates as worker 0 and `nthreads − 1` scoped
+/// threads are spawned for the duration of the call.
+///
+/// If any invocation of `f` panics, the panic with the lowest item
+/// index among those observed is re-thrown on the caller's thread after
+/// all workers have stopped (serial semantics pick the lowest index
+/// deterministically; under stealing, later-indexed panics may win the
+/// race when earlier items were never reached before the pool poisoned
+/// itself).
+pub fn par_map_indexed_in<T, R, F>(nthreads: usize, items: &[T], f: F) -> (Vec<R>, PoolStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    if nthreads <= 1 || n < 2 {
+        let t0 = Instant::now();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let stats = PoolStats {
+            workers: 1,
+            tasks: n as u64,
+            steals: 0,
+            busy_us: vec![t0.elapsed().as_micros() as u64],
+        };
+        return (out, stats);
+    }
+
+    let workers = nthreads.min(n);
+    let chunk = n.div_ceil(workers * CHUNKS_PER_WORKER).max(1);
+    let tasks: Vec<(usize, usize)> =
+        (0..n).step_by(chunk).map(|s| (s, (s + chunk).min(n))).collect();
+    let num_tasks = tasks.len() as u64;
+
+    // Deal contiguous runs of chunks to the workers' deques.
+    let deques: Vec<Mutex<VecDeque<(usize, usize)>>> = {
+        let per = tasks.len().div_ceil(workers);
+        let mut dq: Vec<Mutex<VecDeque<(usize, usize)>>> = Vec::with_capacity(workers);
+        for block in tasks.chunks(per) {
+            dq.push(Mutex::new(block.iter().copied().collect()));
+        }
+        while dq.len() < workers {
+            dq.push(Mutex::new(VecDeque::new()));
+        }
+        dq
+    };
+
+    let steals = AtomicU64::new(0);
+    let poisoned = AtomicBool::new(false);
+    let panic_slot: PanicSlot = Mutex::new(None);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let busy: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+
+    let run_worker = |w: usize| {
+        let t0 = Instant::now();
+        let mut local: Vec<(usize, R)> = Vec::new();
+        'run: while !poisoned.load(Ordering::Relaxed) {
+            // Own work first (front: ascending index order, good
+            // locality), then steal from the back of the next busy
+            // neighbour.
+            let mut task = lock_clean(&deques[w]).pop_front();
+            if task.is_none() {
+                for off in 1..workers {
+                    let victim = (w + off) % workers;
+                    if let Some(t) = lock_clean(&deques[victim]).pop_back() {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        task = Some(t);
+                        break;
+                    }
+                }
+            }
+            let Some((start, end)) = task else { break };
+            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                if poisoned.load(Ordering::Relaxed) {
+                    break 'run;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(r) => local.push((i, r)),
+                    Err(payload) => {
+                        let mut slot = lock_clean(&panic_slot);
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, payload));
+                        }
+                        poisoned.store(true, Ordering::Relaxed);
+                        break 'run;
+                    }
+                }
+            }
+        }
+        busy[w].store(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+        lock_clean(&results).append(&mut local);
+    };
+
+    std::thread::scope(|s| {
+        let worker = &run_worker;
+        for w in 1..workers {
+            s.spawn(move || worker(w));
+        }
+        run_worker(0);
+    });
+
+    if let Some((_, payload)) = lock_clean(&panic_slot).take() {
+        resume_unwind(payload);
+    }
+
+    // Reassemble in input order: scheduling order never leaks out.
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in results.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        slots[i] = Some(r);
+    }
+    let out: Vec<R> =
+        slots.into_iter().map(|o| o.expect("pool completed without all results")).collect();
+    let stats = PoolStats {
+        workers,
+        tasks: num_tasks,
+        steals: steals.load(Ordering::Relaxed),
+        busy_us: busy.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+    };
+    (out, stats)
+}
+
+/// Lock a mutex, ignoring poisoning: every critical section here is
+/// panic-free (pure queue/slot manipulation), and `f`'s panics are
+/// caught before they can unwind through a lock.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for nthreads in [1, 2, 4, 7] {
+            let (out, stats) = par_map_indexed_in(nthreads, &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+            assert_eq!(stats.workers, if nthreads == 1 { 1 } else { nthreads });
+            assert!(stats.tasks > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_oracle() {
+        let items: Vec<u32> = (0..513).rev().collect();
+        let f = |i: usize, &x: &u32| (i as u32).wrapping_mul(31).wrapping_add(x);
+        let serial: Vec<u32> = items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        let (par, _) = par_map_indexed_in(4, &items, f);
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        let (out, stats) = par_map_indexed_in(4, &empty, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 1, "nothing to parallelize");
+        let (out, _) = par_map_indexed_in(4, &[7u8], |_, &x| x + 1);
+        assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<u32> = (0..100).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed_in(4, &items, |_, &x| {
+                if x == 57 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("panic must cross the pool");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("boom at 57"), "got: {msg}");
+    }
+
+    #[test]
+    fn serial_path_panics_at_lowest_index() {
+        let items: Vec<u32> = (0..100).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_indexed_in(1, &items, |_, &x| {
+                if x >= 30 {
+                    panic!("first hit {x}");
+                }
+                x
+            })
+        }))
+        .expect_err("panics");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("first hit 30"), "serial order: got {msg}");
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..317).map(|_| AtomicU32::new(0)).collect();
+        let items: Vec<usize> = (0..317).collect();
+        let (_, _) = par_map_indexed_in(4, &items, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn knob_resolution_override_wins() {
+        // Serial in tests by default (cargo test parallelism): only the
+        // override branch is exercised deterministically.
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(1);
+        assert_eq!(threads(), 1);
+        set_threads(0); // clear: falls back to env / hardware
+        assert!(threads() >= 1);
+    }
+}

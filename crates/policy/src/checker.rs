@@ -92,28 +92,65 @@ pub struct PolicyChecker {
     /// Reverse index: which ECs' forwarding uses a port.
     port_users: HashMap<Port, BTreeSet<EcId>>,
     policies: Vec<Registered>,
+    /// Per-checker worker-count override for the parallel walk phase
+    /// (`None`: the process-global [`rc_par::threads`] knob).
+    threads: Option<usize>,
+    /// Full passes that took the fresh fast path (no prior EC state to
+    /// diff against) — pinned by tests to prove a fresh `check_full`
+    /// does no redundant clearing work.
+    fresh_full_passes: u64,
     telemetry: Option<CheckerTelemetry>,
 }
 
 /// Cached metric handles (name lookups happen once, at attach time).
+/// The pool metrics register lazily, on the first pass that actually
+/// ran multi-worker, so serial runs' snapshots carry no `pool.*` keys.
 struct CheckerTelemetry {
+    registry: rc_telemetry::Telemetry,
     affected_ecs: rc_telemetry::Counter,
     policies_checked: rc_telemetry::Counter,
     policies_registered: rc_telemetry::Gauge,
     pairs: rc_telemetry::Gauge,
     check_incremental_us: rc_telemetry::Histogram,
     check_full_us: rc_telemetry::Histogram,
+    pool_workers: Option<rc_telemetry::Gauge>,
+    pool_tasks: Option<rc_telemetry::Counter>,
+    pool_steals: Option<rc_telemetry::Counter>,
+    pool_busy_us: Option<rc_telemetry::Histogram>,
 }
 
 impl CheckerTelemetry {
     fn new(registry: &rc_telemetry::Telemetry) -> Self {
         CheckerTelemetry {
+            registry: registry.clone(),
             affected_ecs: registry.counter("policy.affected_ecs"),
             policies_checked: registry.counter("policy.policies_checked"),
             policies_registered: registry.gauge("policy.policies_registered"),
             pairs: registry.gauge("policy.pairs"),
             check_incremental_us: registry.histogram("policy.check_incremental_us"),
             check_full_us: registry.histogram("policy.check_full_us"),
+            pool_workers: None,
+            pool_tasks: None,
+            pool_steals: None,
+            pool_busy_us: None,
+        }
+    }
+
+    /// Record one parallel walk phase's pool statistics. Serial passes
+    /// (one worker) record nothing, keeping their snapshots unchanged.
+    fn record_pool(&mut self, stats: &rc_par::PoolStats) {
+        if stats.workers <= 1 {
+            return;
+        }
+        let reg = &self.registry;
+        self.pool_workers
+            .get_or_insert_with(|| reg.gauge("pool.workers"))
+            .set(stats.workers as i64);
+        self.pool_tasks.get_or_insert_with(|| reg.counter("pool.tasks")).add(stats.tasks);
+        self.pool_steals.get_or_insert_with(|| reg.counter("pool.steals")).add(stats.steals);
+        let busy = self.pool_busy_us.get_or_insert_with(|| reg.histogram("pool.busy_us"));
+        for &us in &stats.busy_us {
+            busy.record(us);
         }
     }
 }
@@ -133,8 +170,29 @@ impl PolicyChecker {
             pair_ecs: BTreeMap::new(),
             port_users: HashMap::new(),
             policies: Vec::new(),
+            threads: None,
+            fresh_full_passes: 0,
             telemetry: None,
         }
+    }
+
+    /// Override the worker count for this checker's parallel walk
+    /// phase. `None` falls back to the process-global knob
+    /// ([`rc_par::threads`]: `set_threads` / `RC_THREADS` / available
+    /// parallelism); `Some(1)` forces the exact serial path.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    /// The per-checker worker-count override, if any.
+    pub fn threads(&self) -> Option<usize> {
+        self.threads
+    }
+
+    /// How many full passes took the fresh fast path (no prior EC state
+    /// to diff against).
+    pub fn fresh_full_passes(&self) -> u64 {
+        self.fresh_full_passes
     }
 
     /// Attach a telemetry registry. Every checking pass records the ECs
@@ -261,7 +319,7 @@ impl PolicyChecker {
     /// Build the forwarding graph of one EC over the checker's current
     /// topology (for tracing and ad-hoc queries).
     pub fn ec_graph(&self, model: &ApkModel, ec: EcId) -> crate::walk::EcGraph {
-        crate::walk::build_ec_graph(model, ec, &self.nodes, &self.topo, None)
+        crate::walk::build_ec_graph(&model.ec_view(), ec, &self.nodes, &self.topo, None)
     }
 
     /// Check everything from scratch (initial verification).
@@ -318,9 +376,55 @@ impl PolicyChecker {
         let mut changed_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
         let mut touched_pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
 
-        for &ec in &affected {
-            let graph = build_ec_graph(model, ec, &self.nodes, &self.topo, None);
-            let new = analyze(&graph);
+        // A fresh full pass has no prior state: every `old` below would
+        // be `Default`, the removal diffs are no-ops, and the path-sig
+        // touched pairs are a subset of the changed pairs — so the
+        // insert-only merge underneath is byte-identical and cheaper.
+        let fresh = full
+            && self.ec_state.is_empty()
+            && self.pair_ecs.is_empty()
+            && self.port_users.is_empty();
+        if fresh {
+            self.fresh_full_passes += 1;
+        }
+
+        // Phase 1: walk the affected ECs' forwarding graphs. The walks
+        // only read the model — through an immutable `EcView` snapshot —
+        // and the checker's node/topology sets, so they fan out across
+        // the worker pool. Results come back in input (ascending-EC)
+        // order, so the serial merge in phase 2, and with it the report
+        // and the verdict history, is identical for any worker count.
+        let affected_list: Vec<EcId> = affected.iter().copied().collect();
+        let nthreads = self.threads.unwrap_or_else(rc_par::threads);
+        let (analyses, pool_stats) = {
+            let view = model.ec_view();
+            let nodes = &self.nodes;
+            let topo = &self.topo;
+            rc_par::par_map_indexed_in(nthreads, &affected_list, |_, &ec| {
+                rc_faults::fire_walk(ec.0);
+                analyze(&build_ec_graph(&view, ec, nodes, topo, None))
+            })
+        };
+        if let Some(tel) = &mut self.telemetry {
+            tel.record_pool(&pool_stats);
+        }
+
+        // Phase 2: merge per-EC analyses into the checker's state,
+        // strictly in ascending EC order.
+        for (&ec, new) in affected_list.iter().zip(analyses) {
+            if fresh {
+                for port in &new.ports_used {
+                    self.port_users.entry(*port).or_default().insert(ec);
+                }
+                for (src, dsts) in &new.delivered {
+                    for d in dsts {
+                        changed_pairs.insert((*src, *d));
+                        self.pair_ecs.entry((*src, *d)).or_default().insert(ec);
+                    }
+                }
+                self.ec_state.insert(ec, new);
+                continue;
+            }
             let old = self.ec_state.remove(&ec).unwrap_or_default();
 
             // Update the port reverse index.
@@ -418,6 +522,9 @@ impl PolicyChecker {
                 tel.check_incremental_us.record(us);
             }
         }
+        // Attribute the BDD op-cache traffic of the policy-evaluation
+        // predicates above to the model's telemetry (if attached).
+        model.sync_bdd_telemetry();
         report
     }
 
@@ -448,7 +555,7 @@ impl PolicyChecker {
                     return true; // vacuous: nothing delivered
                 }
                 // Deliverable while avoiding the waypoint ⇒ violated.
-                let g = build_ec_graph(model, ec, &self.nodes, &self.topo, Some(via));
+                let g = build_ec_graph(&model.ec_view(), ec, &self.nodes, &self.topo, Some(via));
                 let a = analyze(&g);
                 !a.delivered.get(&src).is_some_and(|d| d.contains(&dst))
             }),

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
-use rc_apkeep::{ApkModel, EcId, ElementKey, PortAction};
+use rc_apkeep::{EcId, EcView, ElementKey, PortAction};
 use rc_netcfg::facts::Dir;
 use rc_netcfg::types::{NodeId, Port};
 
@@ -44,8 +44,12 @@ pub struct EcGraph {
 /// Build the forwarding graph of `ec` over the given nodes and links
 /// (`topo` maps each link's source port to its destination port).
 /// `exclude` removes one node (used for waypoint checks).
+///
+/// Takes an [`EcView`] — the model's read-only EC→port snapshot — not
+/// the model itself, so any number of per-EC walks can run concurrently
+/// over one borrowed view (see the checker's parallel recheck).
 pub fn build_ec_graph(
-    model: &ApkModel,
+    model: &EcView<'_>,
     ec: EcId,
     nodes: &BTreeSet<NodeId>,
     topo: &BTreeMap<Port, Port>,

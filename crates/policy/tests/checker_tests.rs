@@ -318,6 +318,37 @@ fn split_children_inherit_state() {
 }
 
 #[test]
+fn fresh_full_check_takes_the_insert_only_fast_path() {
+    let Chain { mut model, mut checker } = chain();
+    let reach = checker.add_policy(
+        &mut model,
+        Policy::Reachability {
+            src: n(0),
+            dst: n(2),
+            class: PacketClass::DstPrefix(PFX.parse().unwrap()),
+        },
+    );
+    assert_eq!(checker.fresh_full_passes(), 0);
+
+    // First full pass: nothing to diff against — the fast path fires,
+    // and its insert-only merge produced the same state a diffing pass
+    // would have.
+    let first = checker.check_full(&mut model);
+    assert_eq!(checker.fresh_full_passes(), 1);
+    assert!(checker.is_satisfied(reach));
+    assert_eq!(checker.num_pairs(), 3);
+
+    // Second full pass over populated state must NOT take it (it has
+    // real diffs to compute), and, diffing against identical state,
+    // reports no pair changes.
+    let second = checker.check_full(&mut model);
+    assert_eq!(checker.fresh_full_passes(), 1, "fast path is fresh-only");
+    assert_eq!(second.total_pairs, first.total_pairs);
+    assert_eq!(second.changed_pairs, 0);
+    assert!(second.newly_violated.is_empty() && second.newly_satisfied.is_empty());
+}
+
+#[test]
 fn only_net_affected_drives_recheck() {
     // Split-vs-affected: `BatchSummary.affected` (the net set) is what
     // drives incremental policy work. A batch that splits an EC but

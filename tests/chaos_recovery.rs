@@ -20,7 +20,7 @@ fn rotating_fault(round: usize) -> FaultGuard {
     let point = FaultPoint::ALL[round % FaultPoint::ALL.len()];
     let plan = FaultPlan::new();
     // Stage 1 has an error channel; stages 2 and 3 only fail by panic.
-    let plan = if point == FaultPoint::EngineApply && round % 2 == 0 {
+    let plan = if point == FaultPoint::EngineApply && round.is_multiple_of(2) {
         plan.error_on(point, 1)
     } else {
         plan.panic_on(point, 1)

@@ -1,0 +1,101 @@
+//! Verifier-level contract of the parallel policy-checking phase: a
+//! panic on a pool worker mid-change is contained exactly like any
+//! other pipeline panic (rolled back + poisoned, never a deadlock),
+//! and a serial and a parallel verifier driven through the same change
+//! stream report identical non-timing results.
+
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{fat_tree, host_prefix};
+use realconfig::{ChangeOp, ChangeReport, ChangeSet, Error, PolicyId, RealConfig};
+
+fn build(threads: Option<usize>) -> (RealConfig, PolicyId) {
+    let configs = build_configs(&fat_tree(4), ProtocolChoice::Bgp);
+    let (mut rc, _) = RealConfig::new(configs).expect("fat tree verifies");
+    rc.set_threads(threads);
+    let id = rc
+        .require_reachability("pod00-edge00", "pod01-edge00", host_prefix(2))
+        .expect("devices exist");
+    rc.recheck_policies();
+    (rc, id)
+}
+
+fn link_restore(device: &str, iface: &str) -> ChangeSet {
+    ChangeSet {
+        ops: vec![ChangeOp::EnableInterface { device: device.into(), iface: iface.into() }],
+    }
+}
+
+/// Everything in a [`ChangeReport`] except wall-clock timings and the
+/// metrics snapshot (which contains latency histograms).
+fn shape(r: &ChangeReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        (r.lines_inserted, r.lines_deleted, r.fact_changes, r.dp_records),
+        (r.rules_inserted, r.rules_removed, r.ec_moves, r.ec_splits, r.affected_ecs),
+        (r.affected_pairs, r.changed_pairs, r.total_pairs, r.policies_checked),
+        (r.newly_violated.clone(), r.newly_satisfied.clone(), r.recovered),
+    )
+}
+
+#[test]
+fn serial_and_parallel_verifiers_agree() {
+    let (mut serial, sid) = build(Some(1));
+    let (mut par, pid) = build(Some(4));
+
+    let changes = [
+        ChangeSet::link_failure("pod00-edge00", "eth0"),
+        link_restore("pod00-edge00", "eth0"),
+        ChangeSet::link_failure("pod00-aggr00", "eth0"),
+        ChangeSet::link_failure("pod01-aggr00", "eth0"),
+        link_restore("pod00-aggr00", "eth0"),
+        link_restore("pod01-aggr00", "eth0"),
+    ];
+    for (i, cs) in changes.iter().enumerate() {
+        let rs = serial.apply_change(cs).expect("serial change verifies");
+        let rp = par.apply_change(cs).expect("parallel change verifies");
+        assert_eq!(shape(&rs), shape(&rp), "change {i}: report shape");
+        assert_eq!(serial.is_satisfied(sid), par.is_satisfied(pid), "change {i}: verdict");
+        assert_eq!(serial.fib(), par.fib(), "change {i}: FIB");
+        assert_eq!(serial.num_pairs(), par.num_pairs(), "change {i}: pairs");
+    }
+}
+
+#[test]
+fn worker_panic_poisons_and_rebuild_recovers() {
+    // Silence the default hook for the expected injected panic only.
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|s| s.starts_with(rc_faults::INJECTED_PANIC_PREFIX));
+        if !injected {
+            default(info);
+        }
+    }));
+
+    let (mut rc, id) = build(Some(4));
+    let (mut twin, tid) = build(Some(4));
+
+    // Arm for whatever EC the change walks first — on whichever pool
+    // worker the scheduler picks.
+    rc_faults::arm_walk_panic_any();
+    let change = ChangeSet::link_failure("pod00-edge00", "eth0");
+    let msg = match rc.apply_change(&change) {
+        Err(Error::Internal(msg)) => msg,
+        other => panic!("expected Internal from worker panic, got: {other:?}"),
+    };
+    assert!(msg.starts_with(rc_faults::INJECTED_PANIC_PREFIX), "got: {msg:?}");
+    rc_faults::disarm_walk_panic();
+
+    // Contained like any stage panic: observables rolled back, verifier
+    // poisoned; a rebuild (whose walks run on the pool again) recovers.
+    assert_eq!(rc.configs(), twin.configs(), "configs rolled back");
+    assert_eq!(rc.is_satisfied(id), twin.is_satisfied(tid), "verdict rolled back");
+    assert!(rc.needs_rebuild(), "worker panic must poison");
+    rc.rebuild().expect("rebuild succeeds");
+
+    rc.apply_change(&change).expect("change verifies after rebuild");
+    twin.apply_change(&change).expect("change verifies on twin");
+    assert_eq!(rc.fib(), twin.fib(), "after post-rebuild change: FIB");
+    assert_eq!(rc.is_satisfied(id), twin.is_satisfied(tid), "after post-rebuild change");
+}
