@@ -27,7 +27,7 @@
 //! unique sequence numbers. Transient duplicates mid-batch (a rule
 //! replacement applied insert-first) are fine.
 
-use rc_bdd::{Bdd, Ref};
+use rc_bdd::{PredKind, Predicate, Preds, Ref};
 use rc_netcfg::types::Prefix;
 
 use crate::types::*;
@@ -209,15 +209,11 @@ impl DstIndex {
     }
 
     /// The dst cover of `pred`: exact intervals when small, else the
-    /// projection hull.
-    fn cover_of(bdd: &Bdd, pred: Ref) -> Vec<(u32, u32)> {
-        match bdd.pkt_dst_intervals(pred, INTERVAL_CAP) {
-            Some(iv) => iv,
-            None => {
-                let (lo, hi) = bdd.pkt_dst_bounds(pred).expect("nonempty predicate");
-                vec![(lo, hi)]
-            }
-        }
+    /// projection hull. Both variants over-approximate-or-equal the
+    /// projection, which is all the index needs — covers feed candidate
+    /// generation only, never pruning (see [`DstIndex::candidates`]).
+    fn cover_of(preds: &Preds, pred: Ref) -> Vec<(u32, u32)> {
+        preds.pkt_dst_cover(pred, INTERVAL_CAP).into_intervals()
     }
 
     /// Ensure an atom starts exactly at `at` (splitting the atom that
@@ -306,9 +302,10 @@ impl DstIndex {
     }
 }
 
-/// The data plane model. Owns the BDD manager and the global EC table.
+/// The data plane model. Owns the predicate store and the global EC
+/// table.
 pub struct ApkModel {
-    bdd: Bdd,
+    preds: Preds,
     /// `ec_preds[i]` is the predicate of EC `i`. Never empty, never
     /// overlapping; their union is the full space.
     ec_preds: Vec<Ref>,
@@ -338,11 +335,11 @@ struct ApkTelemetry {
     ec_merges: rc_telemetry::Counter,
     affected_ecs: rc_telemetry::Counter,
     batch_rules: rc_telemetry::Histogram,
-    index_probes: Option<rc_telemetry::Counter>,
-    index_skipped: Option<rc_telemetry::Counter>,
-    index_fallbacks: Option<rc_telemetry::Counter>,
-    bdd_apply_hits: Option<rc_telemetry::Counter>,
-    bdd_apply_misses: Option<rc_telemetry::Counter>,
+    index_probes: std::sync::OnceLock<rc_telemetry::Counter>,
+    index_skipped: std::sync::OnceLock<rc_telemetry::Counter>,
+    index_fallbacks: std::sync::OnceLock<rc_telemetry::Counter>,
+    bdd_apply_hits: std::sync::OnceLock<rc_telemetry::Counter>,
+    bdd_apply_misses: std::sync::OnceLock<rc_telemetry::Counter>,
     /// Totals already mirrored into the registry (the BDD keeps
     /// cumulative counts; telemetry adds deltas).
     bdd_hits_seen: u64,
@@ -362,45 +359,48 @@ impl ApkTelemetry {
             ec_merges: registry.counter("apkeep.ec_merges"),
             affected_ecs: registry.counter("apkeep.affected_ecs"),
             batch_rules: registry.histogram("apkeep.batch_rules"),
-            index_probes: None,
-            index_skipped: None,
-            index_fallbacks: None,
-            bdd_apply_hits: None,
-            bdd_apply_misses: None,
+            index_probes: std::sync::OnceLock::new(),
+            index_skipped: std::sync::OnceLock::new(),
+            index_fallbacks: std::sync::OnceLock::new(),
+            bdd_apply_hits: std::sync::OnceLock::new(),
+            bdd_apply_misses: std::sync::OnceLock::new(),
             bdd_hits_seen: 0,
             bdd_misses_seen: 0,
         }
     }
 
-    /// Candidates that went on to a BDD intersection.
-    fn index_probes(&mut self) -> &rc_telemetry::Counter {
-        self.index_probes
-            .get_or_insert_with(|| self.registry.counter("apkeep.index_probes"))
+    /// Candidates that went on to a predicate intersection.
+    ///
+    /// The lazy counters live in `OnceLock`s (not `Option`s) so first
+    /// registration works through `&self` — the counters themselves are
+    /// interior-mutable registry handles, and read paths like
+    /// [`ApkModel::ecs_intersecting`] must not need `&mut` just to
+    /// count.
+    fn index_probes(&self) -> &rc_telemetry::Counter {
+        self.index_probes.get_or_init(|| self.registry.counter("apkeep.index_probes"))
     }
 
-    /// ECs excluded without any BDD work (outside the queried dst
+    /// ECs excluded without any predicate work (outside the queried dst
     /// intervals, or already on the transfer's target port).
-    fn index_skipped(&mut self) -> &rc_telemetry::Counter {
-        self.index_skipped
-            .get_or_insert_with(|| self.registry.counter("apkeep.index_skipped"))
+    fn index_skipped(&self) -> &rc_telemetry::Counter {
+        self.index_skipped.get_or_init(|| self.registry.counter("apkeep.index_skipped"))
     }
 
     /// Queries whose dst cover was the full address space (e.g. an ACL
     /// with an unconstrained dst), degrading to a full scan.
-    fn index_fallbacks(&mut self) -> &rc_telemetry::Counter {
-        self.index_fallbacks
-            .get_or_insert_with(|| self.registry.counter("apkeep.index_fallbacks"))
+    fn index_fallbacks(&self) -> &rc_telemetry::Counter {
+        self.index_fallbacks.get_or_init(|| self.registry.counter("apkeep.index_fallbacks"))
     }
 
     /// BDD binary-op memo cache hits (lazily registered on first sync
     /// that saw BDD work).
-    fn bdd_apply_hits(&mut self) -> &rc_telemetry::Counter {
-        self.bdd_apply_hits.get_or_insert_with(|| self.registry.counter("bdd.apply_hits"))
+    fn bdd_apply_hits(&self) -> &rc_telemetry::Counter {
+        self.bdd_apply_hits.get_or_init(|| self.registry.counter("bdd.apply_hits"))
     }
 
     /// BDD binary-op memo cache misses.
-    fn bdd_apply_misses(&mut self) -> &rc_telemetry::Counter {
-        self.bdd_apply_misses.get_or_insert_with(|| self.registry.counter("bdd.apply_misses"))
+    fn bdd_apply_misses(&self) -> &rc_telemetry::Counter {
+        self.bdd_apply_misses.get_or_init(|| self.registry.counter("bdd.apply_misses"))
     }
 }
 
@@ -411,11 +411,19 @@ impl Default for ApkModel {
 }
 
 impl ApkModel {
-    /// A fresh model: one EC covering the whole header space, no
-    /// elements.
+    /// A fresh model on the process-default predicate backend
+    /// ([`rc_bdd::default_backend`]): one EC covering the whole header
+    /// space, no elements.
     pub fn new() -> Self {
+        Self::with_backend(rc_bdd::default_backend())
+    }
+
+    /// A fresh model on an explicit predicate backend. `PredKind::Atoms`
+    /// is only valid for dst-prefix-only workloads: compiling any other
+    /// match field panics (see [`rc_bdd::Atoms`]).
+    pub fn with_backend(kind: PredKind) -> Self {
         ApkModel {
-            bdd: Bdd::new(),
+            preds: Preds::new(kind),
             ec_preds: vec![Ref::TRUE],
             dst_index: DstIndex::new_full_space(),
             full_scan: false,
@@ -423,6 +431,11 @@ impl ApkModel {
             element_index: HashMap::new(),
             telemetry: None,
         }
+    }
+
+    /// Which predicate backend this model runs on.
+    pub fn backend(&self) -> PredKind {
+        self.preds.kind()
     }
 
     /// Attach a telemetry registry. Every batch records the transfer
@@ -469,9 +482,11 @@ impl ApkModel {
         (0..self.ec_preds.len() as u32).map(EcId)
     }
 
-    /// The BDD manager (for witness extraction and custom predicates).
-    pub fn bdd(&mut self) -> &mut Bdd {
-        &mut self.bdd
+    /// The predicate store (for witness extraction and custom
+    /// predicates). Callers use the [`rc_bdd::Predicate`] trait surface;
+    /// `Ref`s obtained here belong to this model's store only.
+    pub fn preds(&mut self) -> &mut Preds {
+        &mut self.preds
     }
 
     /// Snapshot the EC→port lookup surface for read-only concurrent
@@ -493,14 +508,15 @@ impl ApkModel {
         }
     }
 
-    /// Mirror the BDD manager's op-cache hit/miss totals into the
+    /// Mirror the predicate store's op-cache hit/miss totals into the
     /// attached telemetry registry as `bdd.apply_hits` /
     /// `bdd.apply_misses` (registered lazily, on the first sync that
-    /// observes BDD work). Called at natural sync points — batch end
+    /// observes BDD work — the atoms backend has no op cache and thus
+    /// registers nothing). Called at natural sync points — batch end
     /// and the end of each policy checking pass — so the counters lag
     /// live BDD activity by at most one pipeline stage.
     pub fn sync_bdd_telemetry(&mut self) {
-        let (hits, misses) = self.bdd.apply_cache_stats();
+        let (hits, misses) = self.preds.apply_cache_stats();
         if let Some(tel) = &mut self.telemetry {
             let dh = hits - tel.bdd_hits_seen;
             let dm = misses - tel.bdd_misses_seen;
@@ -534,7 +550,7 @@ impl ApkModel {
     ) -> Option<(u32, RuleMatch, PortAction)> {
         let e = &self.elements[*self.element_index.get(&key)?];
         for r in &e.rules {
-            if self.bdd.pkt_eval(r.pred, pkt) {
+            if self.preds.pkt_eval(r.pred, pkt) {
                 return Some((r.priority, r.rule_match, e.ports[r.port].clone()));
             }
         }
@@ -544,7 +560,7 @@ impl ApkModel {
     /// The EC containing a concrete packet.
     pub fn ec_of_packet(&self, pkt: &rc_bdd::pkt::Packet) -> EcId {
         for (i, &p) in self.ec_preds.iter().enumerate() {
-            if self.bdd.pkt_eval(p, pkt) {
+            if self.preds.pkt_eval(p, pkt) {
                 return EcId(i as u32);
             }
         }
@@ -555,13 +571,13 @@ impl ApkModel {
     /// of the ECs intersecting `pred`, ascending. `None` means "probe
     /// everything" — the index is disabled, or `pred`'s dst cover is
     /// the whole address space so the index cannot narrow anything.
-    fn candidate_ecs(&mut self, pred: Ref) -> Option<Vec<u32>> {
+    fn candidate_ecs(&self, pred: Ref) -> Option<Vec<u32>> {
         if self.full_scan {
             return None;
         }
-        let query = DstIndex::cover_of(&self.bdd, pred);
+        let query = DstIndex::cover_of(&self.preds, pred);
         if query == [(0, u32::MAX)] {
-            if let Some(tel) = &mut self.telemetry {
+            if let Some(tel) = &self.telemetry {
                 tel.index_fallbacks().incr();
             }
             return None;
@@ -575,9 +591,9 @@ impl ApkModel {
     /// Debug-build cross-check: the indexed candidate set must contain
     /// every EC the full scan would find intersecting `pred`.
     #[cfg(debug_assertions)]
-    fn cross_check_candidates(&mut self, pred: Ref, candidates: &[u32]) {
+    fn cross_check_candidates(&self, pred: Ref, candidates: &[u32]) {
         for i in 0..self.ec_preds.len() {
-            if !self.bdd.and(self.ec_preds[i], pred).is_false() {
+            if self.preds.intersects(self.ec_preds[i], pred) {
                 debug_assert!(
                     candidates.binary_search(&(i as u32)).is_ok(),
                     "dst index dropped intersecting EC {i}"
@@ -587,7 +603,12 @@ impl ApkModel {
     }
 
     /// ECs whose predicate intersects `pred`.
-    pub fn ecs_intersecting(&mut self, pred: Ref) -> Vec<EcId> {
+    ///
+    /// Read-only: the intersection test is the store's non-interning
+    /// [`Predicate::intersects`] and the telemetry counters are
+    /// interior-mutable handles, so the method shares `&self` with e.g.
+    /// a live [`EcView`] instead of demanding an exclusive borrow.
+    pub fn ecs_intersecting(&self, pred: Ref) -> Vec<EcId> {
         if pred.is_false() {
             return Vec::new();
         }
@@ -597,11 +618,11 @@ impl ApkModel {
         let scan = candidates.unwrap_or_else(|| (0..num_ecs as u32).collect());
         let mut out = Vec::new();
         for &i in &scan {
-            if !self.bdd.and(self.ec_preds[i as usize], pred).is_false() {
+            if self.preds.intersects(self.ec_preds[i as usize], pred) {
                 out.push(EcId(i));
             }
         }
-        if let Some(tel) = &mut self.telemetry {
+        if let Some(tel) = &self.telemetry {
             if indexed {
                 tel.index_probes().add(scan.len() as u64);
                 tel.index_skipped().add((num_ecs - scan.len()) as u64);
@@ -612,22 +633,25 @@ impl ApkModel {
 
     fn compile(&mut self, m: RuleMatch) -> Ref {
         use rc_bdd::pkt::Field;
-        let prefix_pred = |bdd: &mut Bdd, f: Field, p: Prefix| {
-            bdd.pkt_prefix(f, p.addr().0, p.len() as u32)
+        let prefix_pred = |preds: &mut Preds, f: Field, p: Prefix| {
+            preds.pkt_prefix(f, p.addr().0, p.len() as u32)
         };
         match m {
-            RuleMatch::DstPrefix(p) => prefix_pred(&mut self.bdd, Field::DstIp, p),
+            RuleMatch::DstPrefix(p) => prefix_pred(&mut self.preds, Field::DstIp, p),
+            // Non-dst constraints are only encodable on the BDD backend;
+            // on atoms the store panics with a pointer at `--backend bdd`
+            // rather than silently widening the match.
             RuleMatch::Acl { proto, src, dst, dst_ports } => {
-                let mut acc = prefix_pred(&mut self.bdd, Field::SrcIp, src);
-                let d = prefix_pred(&mut self.bdd, Field::DstIp, dst);
-                acc = self.bdd.and(acc, d);
+                let mut acc = prefix_pred(&mut self.preds, Field::SrcIp, src);
+                let d = prefix_pred(&mut self.preds, Field::DstIp, dst);
+                acc = self.preds.and(acc, d);
                 if let Some(pr) = proto {
-                    let p = self.bdd.pkt_value(Field::Proto, pr as u32);
-                    acc = self.bdd.and(acc, p);
+                    let p = self.preds.pkt_value(Field::Proto, pr as u32);
+                    acc = self.preds.and(acc, p);
                 }
                 if let Some((lo, hi)) = dst_ports {
-                    let r = self.bdd.pkt_range(Field::DstPort, lo as u32, hi as u32);
-                    acc = self.bdd.and(acc, r);
+                    let r = self.preds.pkt_range(Field::DstPort, lo as u32, hi as u32);
+                    acc = self.preds.and(acc, r);
                 }
                 acc
             }
@@ -696,7 +720,7 @@ impl ApkModel {
                 .collect();
             let mut h = pred;
             for hp in higher {
-                h = self.bdd.diff(h, hp);
+                h = self.preds.diff(h, hp);
                 if h.is_false() {
                     break;
                 }
@@ -749,7 +773,7 @@ impl ApkModel {
                 .collect();
             let mut h = pred;
             for hp in higher {
-                h = self.bdd.diff(h, hp);
+                h = self.preds.diff(h, hp);
                 if h.is_false() {
                     break;
                 }
@@ -770,10 +794,10 @@ impl ApkModel {
             if rest.is_false() {
                 break;
             }
-            let take = self.bdd.and(rest, rpred);
+            let take = self.preds.and(rest, rpred);
             if !take.is_false() {
                 moves.push((take, rport));
-                rest = self.bdd.diff(rest, take);
+                rest = self.preds.diff(rest, take);
             }
         }
         if !rest.is_false() {
@@ -820,11 +844,11 @@ impl ApkModel {
             }
             let ec_pred = self.ec_preds[idx as usize];
             probes += 1;
-            let inter = self.bdd.and(ec_pred, remaining);
+            let inter = self.preds.and(ec_pred, remaining);
             if inter.is_false() {
                 continue;
             }
-            remaining = self.bdd.diff(remaining, inter);
+            remaining = self.preds.diff(remaining, inter);
             let moving = if inter == ec_pred { idx } else { self.split(idx, inter, tx) };
             self.move_ec(eid, moving, to_port, tx);
         }
@@ -839,15 +863,15 @@ impl ApkModel {
     /// parent in every element. Returns the new EC id.
     fn split(&mut self, parent: u32, inter: Ref, tx: &mut Batch) -> u32 {
         let child = self.ec_preds.len() as u32;
-        let remainder = self.bdd.diff(self.ec_preds[parent as usize], inter);
+        let remainder = self.preds.diff(self.ec_preds[parent as usize], inter);
         debug_assert!(!remainder.is_false(), "split with nothing left in the parent");
         self.ec_preds[parent as usize] = remainder;
         self.ec_preds.push(inter);
         // Index maintenance: the parent's dst projection shrank (or
         // stayed — recompute either way), the child's is new.
-        let parent_cover = DstIndex::cover_of(&self.bdd, remainder);
+        let parent_cover = DstIndex::cover_of(&self.preds, remainder);
         self.dst_index.set_cover(parent, parent_cover);
-        let child_cover = DstIndex::cover_of(&self.bdd, inter);
+        let child_cover = DstIndex::cover_of(&self.preds, inter);
         self.dst_index.push_ec(child_cover);
         for (eidx, elem) in self.elements.iter_mut().enumerate() {
             let port = elem.add_split_child(parent, child);
@@ -939,7 +963,7 @@ impl ApkModel {
             let survivor = group[0];
             for &ec in &group[1..] {
                 let merged =
-                    self.bdd.or(self.ec_preds[survivor as usize], self.ec_preds[ec as usize]);
+                    self.preds.or(self.ec_preds[survivor as usize], self.ec_preds[ec as usize]);
                 self.ec_preds[survivor as usize] = merged;
                 merges.push((EcId(survivor), EcId(ec)));
                 survivor_of[ec as usize] = survivor;
@@ -977,7 +1001,7 @@ impl ApkModel {
             // Survivor predicates grew and every id moved: rebuild the
             // dst index outright.
             let covers: Vec<Vec<(u32, u32)>> =
-                self.ec_preds.iter().map(|&p| DstIndex::cover_of(&self.bdd, p)).collect();
+                self.ec_preds.iter().map(|&p| DstIndex::cover_of(&self.preds, p)).collect();
             self.dst_index.rebuild(covers);
         }
         if let Some(tel) = &self.telemetry {
@@ -997,8 +1021,8 @@ impl ApkModel {
         for i in 0..self.ec_preds.len() {
             let p = self.ec_preds[i];
             assert!(!p.is_false(), "EC {i} is empty");
-            assert!(self.bdd.and(union, p).is_false(), "EC {i} overlaps earlier ECs");
-            union = self.bdd.or(union, p);
+            assert!(self.preds.and(union, p).is_false(), "EC {i} overlaps earlier ECs");
+            union = self.preds.or(union, p);
         }
         assert!(union.is_true(), "ECs do not cover the space");
 
@@ -1023,11 +1047,11 @@ impl ApkModel {
             let mut port_pred = vec![Ref::FALSE; num_ports];
             let mut remaining = Ref::TRUE;
             for &(rp, rport) in &rules {
-                let covered = self.bdd.and(remaining, rp);
-                port_pred[rport] = self.bdd.or(port_pred[rport], covered);
-                remaining = self.bdd.diff(remaining, rp);
+                let covered = self.preds.and(remaining, rp);
+                port_pred[rport] = self.preds.or(port_pred[rport], covered);
+                remaining = self.preds.diff(remaining, rp);
             }
-            port_pred[default] = self.bdd.or(port_pred[default], remaining);
+            port_pred[default] = self.preds.or(port_pred[default], remaining);
 
             // Walk the inverted index: every EC appears on exactly one
             // port, consistent with `port_of_ec`, and lies entirely
@@ -1042,7 +1066,7 @@ impl ApkModel {
                     );
                     let ec_pred = self.ec_preds[ec as usize];
                     assert!(
-                        self.bdd.subset(ec_pred, port_pred[port]),
+                        self.preds.subset(ec_pred, port_pred[port]),
                         "EC {ec} on wrong port at element {eidx}"
                     );
                     seen += 1;
@@ -1054,7 +1078,7 @@ impl ApkModel {
         // The dst index mirrors each EC's current projection cover.
         assert_eq!(self.dst_index.covers.len(), self.ec_preds.len(), "dst index out of sync");
         for ec in 0..self.ec_preds.len() {
-            let expect = DstIndex::cover_of(&self.bdd, self.ec_preds[ec]);
+            let expect = DstIndex::cover_of(&self.preds, self.ec_preds[ec]);
             assert_eq!(
                 self.dst_index.covers[ec], expect,
                 "stale dst cover for EC {ec}"

@@ -6,40 +6,67 @@ use std::collections::HashMap;
 use crate::manager::Bdd;
 use crate::node::{Ref, Var};
 
+/// `c * 2^by`, saturating at `u128::MAX`. The 104-variable packet space
+/// fits a `u128` exactly, so saturation only triggers past 128 variables.
+#[inline]
+fn shl_sat(c: u128, by: u32) -> u128 {
+    if c == 0 {
+        0
+    } else if by > c.leading_zeros() {
+        u128::MAX
+    } else {
+        c << by
+    }
+}
+
 impl Bdd {
     /// Number of satisfying assignments over a space of `num_vars`
-    /// variables (variables `0..num_vars`). Returned as `f64` because a
-    /// 104-bit packet space overflows `u64`.
+    /// variables (variables `0..num_vars`), as `f64` for callers that
+    /// want a ratio or a log. The count is computed exactly in `u128`
+    /// ([`Self::sat_count_u128`]) and converted at the end, so the only
+    /// imprecision is the final rounding to 53 bits of mantissa — counts
+    /// near `2^104` no longer drift per-node and equality comparisons on
+    /// exactly representable counts are stable.
     ///
     /// Every variable appearing in `a` must be `< num_vars`.
     pub fn sat_count(&self, a: Ref, num_vars: u32) -> f64 {
-        let mut memo: HashMap<Ref, f64> = HashMap::new();
+        self.sat_count_u128(a, num_vars) as f64
+    }
+
+    /// Exact number of satisfying assignments over `num_vars` variables,
+    /// saturating at `u128::MAX`. The full 5-tuple packet space has
+    /// `2^104` assignments, well inside `u128`, so every packet-space
+    /// count is exact; saturation only applies to `num_vars > 128`.
+    ///
+    /// Every variable appearing in `a` must be `< num_vars`.
+    pub fn sat_count_u128(&self, a: Ref, num_vars: u32) -> u128 {
+        let mut memo: HashMap<Ref, u128> = HashMap::new();
         // count(r) = satisfying assignments over vars var_of(r)..num_vars,
         // then scale by the gap above the root.
         let c = self.sat_count_rec(a, num_vars, &mut memo);
         let root_var = if a.is_terminal() { num_vars } else { self.var_of(a) };
-        c * 2f64.powi(root_var as i32)
+        shl_sat(c, root_var)
     }
 
-    fn sat_count_rec(&self, a: Ref, num_vars: u32, memo: &mut HashMap<Ref, f64>) -> f64 {
+    fn sat_count_rec(&self, a: Ref, num_vars: u32, memo: &mut HashMap<Ref, u128>) -> u128 {
         if a.is_false() {
-            return 0.0;
+            return 0;
         }
         if a.is_true() {
-            return 1.0;
+            return 1;
         }
         if let Some(&c) = memo.get(&a) {
             return c;
         }
         let n = self.node(a);
         debug_assert!(n.var < num_vars, "sat_count: variable {} out of range {num_vars}", n.var);
-        let gap = |child: Ref| -> i32 {
+        let gap = |child: Ref| -> u32 {
             let cv = if child.is_terminal() { num_vars } else { self.var_of(child) };
-            (cv - n.var - 1) as i32
+            cv - n.var - 1
         };
-        let lo = self.sat_count_rec(n.lo, num_vars, memo) * 2f64.powi(gap(n.lo));
-        let hi = self.sat_count_rec(n.hi, num_vars, memo) * 2f64.powi(gap(n.hi));
-        let c = lo + hi;
+        let lo = shl_sat(self.sat_count_rec(n.lo, num_vars, memo), gap(n.lo));
+        let hi = shl_sat(self.sat_count_rec(n.hi, num_vars, memo), gap(n.hi));
+        let c = lo.saturating_add(hi);
         memo.insert(a, c);
         c
     }
@@ -124,6 +151,36 @@ mod tests {
         assert_eq!(b.sat_count(xy, 4), 4.0);
         let xoy = b.or(x, y);
         assert_eq!(b.sat_count(xoy, 4), 12.0);
+    }
+
+    #[test]
+    fn sat_count_exact_at_high_var_counts() {
+        let mut b = Bdd::new();
+        // The predicate excluding exactly one fully specified 104-bit
+        // packet: count is 2^104 - 1, which f64 cannot represent (the
+        // old f64 accumulation silently rounded node-by-node).
+        let lits: Vec<Ref> = (0..104).map(|v| b.var(v)).collect();
+        let cube = b.and_all(lits);
+        let almost_full = b.not(cube);
+        assert_eq!(b.sat_count_u128(cube, 104), 1);
+        assert_eq!(b.sat_count_u128(almost_full, 104), (1u128 << 104) - 1);
+        assert_eq!(b.sat_count_u128(Ref::TRUE, 104), 1u128 << 104);
+        // The f64 view rounds 2^104 - 1 up to 2^104 — documented, stable
+        // rounding at the boundary rather than drift inside the sum.
+        assert_eq!(b.sat_count(almost_full, 104), 2f64.powi(104));
+        assert_eq!(b.sat_count(cube, 104), 1.0);
+    }
+
+    #[test]
+    fn sat_count_saturates_past_u128() {
+        let mut b = Bdd::new();
+        // 2^128 does not fit: saturates instead of wrapping to zero.
+        assert_eq!(b.sat_count_u128(Ref::TRUE, 128), u128::MAX);
+        let x = b.var(0);
+        assert_eq!(b.sat_count_u128(x, 129), u128::MAX);
+        assert_eq!(b.sat_count_u128(Ref::FALSE, 200), 0);
+        // Just inside the representable range: exact.
+        assert_eq!(b.sat_count_u128(x, 128), 1u128 << 127);
     }
 
     #[test]

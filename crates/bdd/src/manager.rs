@@ -209,6 +209,56 @@ impl Bdd {
         self.apply(Op::And, a, b)
     }
 
+    /// Whether `a ∧ b` is satisfiable — i.e. the packet sets overlap.
+    ///
+    /// Unlike `and(a, b).is_false()`, this never allocates nodes or
+    /// touches the op caches, so it works from `&self` and is usable in
+    /// shared read paths. It short-circuits on the first satisfying
+    /// branch and memoizes only *disjoint* pairs (a satisfying branch
+    /// ends the walk, so positive results never need the memo).
+    pub fn intersects(&self, a: Ref, b: Ref) -> bool {
+        let mut disjoint = std::collections::HashSet::new();
+        self.intersects_rec(a, b, &mut disjoint)
+    }
+
+    fn intersects_rec(
+        &self,
+        a: Ref,
+        b: Ref,
+        disjoint: &mut std::collections::HashSet<(Ref, Ref)>,
+    ) -> bool {
+        if a.is_false() || b.is_false() {
+            return false;
+        }
+        if a.is_true() || b.is_true() || a == b {
+            return true;
+        }
+        // Conjunction is commutative: normalize the memo key.
+        let key = if b < a { (b, a) } else { (a, b) };
+        if disjoint.contains(&key) {
+            return false;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let v = va.min(vb);
+        let (a_lo, a_hi) = if va == v {
+            let n = self.node(a);
+            (n.lo, n.hi)
+        } else {
+            (a, a)
+        };
+        let (b_lo, b_hi) = if vb == v {
+            let n = self.node(b);
+            (n.lo, n.hi)
+        } else {
+            (b, b)
+        };
+        if self.intersects_rec(a_lo, b_lo, disjoint) || self.intersects_rec(a_hi, b_hi, disjoint) {
+            return true;
+        }
+        disjoint.insert(key);
+        false
+    }
+
     /// Disjunction (packet-set union).
     pub fn or(&mut self, a: Ref, b: Ref) -> Ref {
         self.apply(Op::Or, a, b)
@@ -462,6 +512,45 @@ mod tests {
         let lo = b.var(1);
         let f = b.or(lo, hi);
         assert_eq!(b.var_of(f), 1);
+    }
+
+    #[test]
+    fn intersects_agrees_with_and_without_mutating() {
+        let mut b = Bdd::new();
+        let mut preds = vec![Ref::FALSE, Ref::TRUE];
+        for v in 0..6 {
+            let x = b.var(v);
+            let nx = b.not(x);
+            preds.push(x);
+            preds.push(nx);
+        }
+        for i in 0..4 {
+            let x = b.var(i);
+            let y = b.var(i + 2);
+            let a = b.and(x, y);
+            let o = b.or(x, y);
+            let d = b.diff(x, y);
+            preds.extend([a, o, d]);
+        }
+        let nodes_before = b.node_count();
+        let stats_before = b.apply_cache_stats();
+        let mut expected = Vec::new();
+        for &p in &preds {
+            for &q in &preds {
+                expected.push(b.intersects(p, q));
+            }
+        }
+        // Read-only: no nodes allocated, no cache traffic.
+        assert_eq!(b.node_count(), nodes_before);
+        assert_eq!(b.apply_cache_stats(), stats_before);
+        // Agrees with the mutating conjunction test on every pair.
+        let n = preds.len();
+        for i in 0..n {
+            for j in 0..n {
+                let (p, q) = (preds[i], preds[j]);
+                assert_eq!(expected[i * n + j], !b.and(p, q).is_false(), "pair {p:?} ∧ {q:?}");
+            }
+        }
     }
 
     #[test]

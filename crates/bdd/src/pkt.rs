@@ -44,6 +44,41 @@ impl Field {
 /// Total number of BDD variables in the packet header space.
 pub const TOTAL_VARS: u32 = 104;
 
+/// The destination-IP projection of a predicate.
+///
+/// An address is *covered* when some satisfying packet carries it. The
+/// two variants make the exact/approximate distinction explicit at the
+/// type level: an [`Exact`](Cover::Exact) cover may be used both to find
+/// candidates and to prune, while a [`Hull`](Cover::Hull) is an
+/// over-approximation and is sound **only** for candidate generation —
+/// an address inside the hull may still be uncovered, so a hull must
+/// never be used to rule anything out.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Cover {
+    /// The exact projection: sorted, disjoint, non-adjacent inclusive
+    /// intervals. Empty iff the predicate is unsatisfiable.
+    Exact(Vec<(u32, u32)>),
+    /// The `[min, max]` hull of the projection, emitted when the exact
+    /// cover would exceed the caller's interval cap.
+    Hull(u32, u32),
+}
+
+impl Cover {
+    /// Whether this cover is exact (usable for pruning).
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Cover::Exact(_))
+    }
+
+    /// The cover as an interval list. For a hull this is the single
+    /// `[min, max]` interval — an over-approximation of the projection.
+    pub fn into_intervals(self) -> Vec<(u32, u32)> {
+        match self {
+            Cover::Exact(iv) => iv,
+            Cover::Hull(lo, hi) => vec![(lo, hi)],
+        }
+    }
+}
+
 /// A concrete packet, used to evaluate predicates and produce witnesses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct Packet {
@@ -244,6 +279,28 @@ impl Bdd {
         out.len() <= cap
     }
 
+    /// The destination-IP projection of `pred` as a [`Cover`]: the exact
+    /// interval list when it fits in `cap` intervals, otherwise the
+    /// `[min, max]` hull. Unlike [`Self::pkt_dst_intervals`], the
+    /// approximation is explicit in the return type, so callers cannot
+    /// mistake a hull for an exact cover.
+    pub fn pkt_dst_cover(&self, pred: Ref, cap: usize) -> Cover {
+        if pred.is_false() {
+            return Cover::Exact(Vec::new());
+        }
+        match self.pkt_dst_intervals(pred, cap) {
+            Some(iv) => Cover::Exact(iv),
+            None => {
+                // pred is satisfiable, so bounds exist.
+                let (lo, hi) = match self.pkt_dst_bounds(pred) {
+                    Some(b) => b,
+                    None => unreachable!("satisfiable predicate has dst bounds"),
+                };
+                Cover::Hull(lo, hi)
+            }
+        }
+    }
+
     /// Produce one packet satisfying `pred`, if any. Free bits are zero.
     pub fn pkt_witness(&self, pred: Ref) -> Option<Packet> {
         let cube = self.pick_cube(pred)?;
@@ -426,6 +483,50 @@ mod tests {
         let r = b.pkt_range(Field::DstIp, 5000, 123456);
         assert_eq!(b.pkt_dst_intervals(r, 8), Some(vec![(5000, 123456)]));
         assert_eq!(b.pkt_dst_bounds(r), Some((5000, 123456)));
+    }
+
+    #[test]
+    fn dst_cover_exact_within_cap() {
+        let mut b = Bdd::new();
+        let p = b.pkt_prefix(Field::DstIp, 0x0A000000, 8);
+        assert_eq!(b.pkt_dst_cover(p, 4), Cover::Exact(vec![(0x0A000000, 0x0AFFFFFF)]));
+        assert_eq!(b.pkt_dst_cover(Ref::FALSE, 4), Cover::Exact(vec![]));
+        assert_eq!(b.pkt_dst_cover(Ref::TRUE, 4), Cover::Exact(vec![(0, u32::MAX)]));
+        assert!(b.pkt_dst_cover(p, 4).is_exact());
+    }
+
+    #[test]
+    fn dst_cover_hull_past_cap() {
+        let mut b = Bdd::new();
+        // dst odd: 2^31 singleton intervals — cover degrades to a hull,
+        // and the type says so.
+        let odd = b.var(31);
+        let c = b.pkt_dst_cover(odd, 16);
+        assert_eq!(c, Cover::Hull(1, u32::MAX));
+        assert!(!c.is_exact());
+        assert_eq!(c.into_intervals(), vec![(1, u32::MAX)]);
+    }
+
+    #[test]
+    fn dst_cover_hull_contains_every_exact_interval() {
+        let mut b = Bdd::new();
+        // 20 disjoint, non-adjacent /24s: exact cover needs 20 intervals.
+        let preds: Vec<Ref> =
+            (0u32..20).map(|i| b.pkt_prefix(Field::DstIp, 0x0A000000 + ((i * 2) << 8), 24)).collect();
+        let u = b.or_all(preds);
+        let exact = b.pkt_dst_intervals(u, 64).expect("20 intervals fit in 64");
+        assert_eq!(exact.len(), 20);
+        // With the production cap the cover is a hull, and the hull
+        // encloses every exact interval (over-approximation, sound for
+        // candidate generation only).
+        match b.pkt_dst_cover(u, 16) {
+            Cover::Hull(lo, hi) => {
+                for &(ilo, ihi) in &exact {
+                    assert!(lo <= ilo && ihi <= hi);
+                }
+            }
+            Cover::Exact(_) => panic!("20 intervals must not fit a cap of 16"),
+        }
     }
 
     #[test]

@@ -3,19 +3,23 @@
 //!
 //! Usage: `cargo run --release -p realconfig-bench --bin table3 \
 //!   [-- --k 12 --samples 10 --out bench_results/table3.json \
-//!       --check <baseline.json> --full-scan]`
+//!       --check <baseline.json> --full-scan --backend bdd|atoms]`
 //!
 //! `--check` compares this run's rows against a committed baseline on
-//! every non-timing field (the equivalence gate: the EC index must not
-//! change *what* the model computes, only how fast) and exits non-zero
-//! on any mismatch. `--full-scan` disables the EC candidate index — the
-//! ablation leg of the T1 A/B.
+//! every non-timing field (the equivalence gate: a perf knob — the EC
+//! index, the predicate backend — must not change *what* the model
+//! computes, only how fast) and exits non-zero on any mismatch.
+//! `--full-scan` disables the EC candidate index — the ablation leg of
+//! the T1 A/B. `--backend` selects the predicate backend (default:
+//! `RC_BACKEND`, then BDDs); an atoms run gates cleanly against a bdd
+//! baseline because `backend` is not a gate field.
 
 use realconfig_bench::{check_gate, fmt_us, run_table3_opts, Table3Row};
 
 /// Fields of a Table3Row that must be byte-identical between an indexed
-/// and a full-scan run (everything except timings and the telemetry
-/// snapshot, which embeds timing histograms and index counters).
+/// and a full-scan run, and between a bdd and an atoms run (everything
+/// except timings, the telemetry snapshot — which embeds timing
+/// histograms and index counters — and the backend label itself).
 const GATE_FIELDS: &[&str] = &[
     "change",
     "order",
@@ -32,13 +36,14 @@ const GATE_FIELDS: &[&str] = &[
 fn main() {
     let args = parse_args();
     println!(
-        "Table 3 reproduction: BGP fat tree k={}, {} sampled changes per type{}.\n",
+        "Table 3 reproduction: BGP fat tree k={}, {} sampled changes per type, {} backend{}.\n",
         args.k,
         args.samples,
+        args.backend.label(),
         if args.full_scan { " [EC index DISABLED: full-scan ablation]" } else { "" }
     );
     eprintln!("building two verifiers per change type (insert-first / delete-first)…");
-    let rows = run_table3_opts(args.k, args.samples, 0xC0FFEE, args.full_scan);
+    let rows = run_table3_opts(args.k, args.samples, 0xC0FFEE, args.full_scan, args.backend);
 
     println!(
         "== Measured (this machine; #Rules total {}, #Pairs total {}) ==",
@@ -121,6 +126,7 @@ struct Args {
     out: String,
     check: Option<String>,
     full_scan: bool,
+    backend: realconfig::PredKind,
 }
 
 fn parse_args() -> Args {
@@ -130,6 +136,7 @@ fn parse_args() -> Args {
         out: "bench_results/table3.json".into(),
         check: None,
         full_scan: false,
+        backend: realconfig::default_backend(),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -155,8 +162,12 @@ fn parse_args() -> Args {
                 parsed.full_scan = true;
                 i += 1;
             }
+            "--backend" => {
+                parsed.backend = args[i + 1].parse().expect("--backend bdd|atoms");
+                i += 2;
+            }
             other => panic!(
-                "unknown argument {other:?} (expected --k / --samples / --out / --check / --full-scan)"
+                "unknown argument {other:?} (expected --k / --samples / --out / --check / --full-scan / --backend)"
             ),
         }
     }

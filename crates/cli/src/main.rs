@@ -2,9 +2,9 @@
 //! verifier.
 //!
 //! ```text
-//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--metrics FILE]
-//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--metrics FILE]
-//! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]
+//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms] [--metrics FILE]
+//! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--backend bdd|atoms] [--metrics FILE]
+//! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N] [--backend bdd|atoms]
 //! ```
 //!
 //! A configuration directory holds one `<hostname>.cfg` per device.
@@ -21,6 +21,14 @@
 //! phase (default: the `RC_THREADS` environment variable, then the
 //! machine's available parallelism; `1` forces the serial path).
 //! Reports are byte-identical for any worker count.
+//!
+//! `--backend bdd|atoms` selects the predicate backend of the EC model
+//! (default: the `RC_BACKEND` environment variable, then BDDs). The
+//! `atoms` backend stores predicates as destination-IP interval sets
+//! (Delta-net style) — faster on pure dst-prefix routing workloads, but
+//! it cannot encode ACL matches on other header fields; configurations
+//! that need 5-tuple semantics must use `bdd`. Verdicts and reports are
+//! identical between backends on workloads both support.
 //!
 //! `diff --recover` verifies the change with the self-healing path
 //! ([`RealConfig::apply_configs_or_rebuild`]): if the incremental
@@ -55,9 +63,9 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N]\n  \
-                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N]\n  \
-                 realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N]"
+                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms]\n  \
+                 realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--backend bdd|atoms]\n  \
+                 realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N] [--backend bdd|atoms]"
             );
             return ExitCode::from(2);
         }
@@ -252,6 +260,20 @@ fn apply_threads_flag(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parse an optional `--backend bdd|atoms` flag and, when present,
+/// install it as the process-global predicate-backend default (so the
+/// verifier built right after picks it up). Without the flag the
+/// `RC_BACKEND` environment variable applies, then BDDs.
+fn apply_backend_flag(args: &[String]) -> Result<(), CliError> {
+    let Some(i) = args.iter().position(|a| a == "--backend") else {
+        return Ok(());
+    };
+    let name = args.get(i + 1).ok_or("--backend needs a value: \"bdd\" or \"atoms\"")?;
+    let kind: realconfig::PredKind = name.parse().map_err(CliError::from)?;
+    realconfig::set_default_backend(Some(kind));
+    Ok(())
+}
+
 /// Parse an optional `--metrics <path>` flag.
 fn parse_metrics_path(args: &[String]) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == "--metrics") {
@@ -284,6 +306,7 @@ fn dump_metrics_on_failure(rc: &RealConfig, path: Option<&str>) {
 fn cmd_verify(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("verify needs a config directory")?;
     apply_threads_flag(args)?;
+    apply_backend_flag(args)?;
     let configs = load_dir(dir)?;
     let n = configs.len();
     let (mut rc, report) = RealConfig::new(configs)?;
@@ -314,6 +337,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, CliError> {
     let json = args.iter().any(|a| a == "--json");
     let recover = args.iter().any(|a| a == "--recover");
     apply_threads_flag(args)?;
+    apply_backend_flag(args)?;
     let metrics_path = parse_metrics_path(args)?;
     let old = load_dir(old_dir)?;
     let new = load_dir(new_dir)?;
@@ -389,6 +413,7 @@ fn cmd_diff(args: &[String]) -> Result<bool, CliError> {
 
 fn cmd_trace(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("trace needs a config directory")?;
+    apply_backend_flag(args)?;
     let mut from = None;
     let mut dst = None;
     let mut proto = 6u8;
@@ -410,6 +435,11 @@ fn cmd_trace(args: &[String]) -> Result<bool, CliError> {
             }
             "--dport" => {
                 dport = args.get(i + 1).ok_or("--dport needs a number")?.parse()?;
+                i += 2;
+            }
+            "--backend" => {
+                // Validated and installed globally by apply_backend_flag
+                // below; just step over the value here.
                 i += 2;
             }
             other => return Err(format!("unknown trace argument {other:?}").into()),

@@ -67,6 +67,7 @@ pub use rc_bdd::pkt::Packet;
 // `set_threads`/`threads` are the process-global worker-count knob for
 // the parallel policy-checking phase (per-verifier override:
 // `RealConfig::set_threads`).
+pub use rc_bdd::{default_backend, set_default_backend, PredKind};
 pub use rc_par::{set_threads, threads};
 pub use rc_apkeep::UpdateOrder;
 pub use rc_telemetry::{MetricsSnapshot, Telemetry};

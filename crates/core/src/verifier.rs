@@ -108,6 +108,9 @@ pub struct RealConfig {
     /// Ablation/test support: run the EC model with its dst-interval
     /// candidate index disabled (full O(#ECs) scans). Survives rebuilds.
     model_full_scan: bool,
+    /// Predicate backend the model was built with (BDDs or Delta-net
+    /// interval atoms). Captured at construction; survives rebuilds.
+    backend: rc_bdd::PredKind,
     /// Worker-count override for the checker's parallel walk phase
     /// (`None`: the process-global `rc_par` knob). Survives rebuilds.
     threads: Option<usize>,
@@ -142,9 +145,23 @@ impl RealConfig {
 
     /// [`RealConfig::new`] with an explicit data plane model update
     /// order (insertion-first is the fast one; Table 3 quantifies why).
+    /// The predicate backend comes from the process-global default
+    /// ([`rc_bdd::default_backend`]: `--backend` / `RC_BACKEND`).
     pub fn with_order(
         configs: BTreeMap<String, DeviceConfig>,
         update_order: UpdateOrder,
+    ) -> Result<(Self, FullReport), Error> {
+        Self::with_order_backend(configs, update_order, rc_bdd::default_backend())
+    }
+
+    /// [`RealConfig::with_order`] with an explicit predicate backend,
+    /// bypassing the process-global default. Tests and benchmarks that
+    /// compare backends side by side use this to avoid racing on the
+    /// global knob.
+    pub fn with_order_backend(
+        configs: BTreeMap<String, DeviceConfig>,
+        update_order: UpdateOrder,
+        backend: rc_bdd::PredKind,
     ) -> Result<(Self, FullReport), Error> {
         let mut rc = RealConfig {
             configs: BTreeMap::new(),
@@ -152,12 +169,13 @@ impl RealConfig {
             facts: BTreeSet::new(),
             warnings: BTreeSet::new(),
             engine: RoutingEngine::new(),
-            model: ApkModel::new(),
+            model: ApkModel::with_backend(backend),
             checker: PolicyChecker::new(),
             grouper: FibGrouper::default(),
             devices: BTreeSet::new(),
             update_order,
             model_full_scan: false,
+            backend,
             threads: None,
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
@@ -531,7 +549,7 @@ impl RealConfig {
 
         let mut engine = RoutingEngine::new();
         engine.set_telemetry(self.telemetry.clone());
-        let mut model = ApkModel::new();
+        let mut model = ApkModel::with_backend(self.backend);
         model.set_telemetry(&self.telemetry);
         model.set_full_scan(self.model_full_scan);
         let mut checker = PolicyChecker::new();
@@ -763,6 +781,11 @@ impl RealConfig {
     /// The per-verifier worker-count override, if any.
     pub fn threads(&self) -> Option<usize> {
         self.threads
+    }
+
+    /// The predicate backend this verifier was built with.
+    pub fn backend(&self) -> rc_bdd::PredKind {
+        self.backend
     }
 }
 

@@ -13,7 +13,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use rc_apkeep::{ApkModel, BatchSummary, EcId};
-use rc_bdd::Ref;
+use rc_bdd::{Predicate, Ref};
 use rc_netcfg::types::{NodeId, Port, Prefix};
 
 use crate::walk::{analyze, build_ec_graph, EcAnalysis};
@@ -243,23 +243,23 @@ impl PolicyChecker {
         let pred = match class {
             PacketClass::All => Ref::TRUE,
             PacketClass::DstPrefix(p) => {
-                model.bdd().pkt_prefix(rc_bdd::pkt::Field::DstIp, p.addr().0, p.len() as u32)
+                model.preds().pkt_prefix(rc_bdd::pkt::Field::DstIp, p.addr().0, p.len() as u32)
             }
             PacketClass::Flow { proto, dst_prefix, dst_port } => {
                 use rc_bdd::pkt::Field;
-                let bdd = model.bdd();
+                let preds = model.preds();
                 let mut acc = Ref::TRUE;
                 if let Some(pr) = proto {
-                    let p = bdd.pkt_value(Field::Proto, pr as u32);
-                    acc = bdd.and(acc, p);
+                    let p = preds.pkt_value(Field::Proto, pr as u32);
+                    acc = preds.and(acc, p);
                 }
                 if let Some(p) = dst_prefix {
-                    let d = bdd.pkt_prefix(Field::DstIp, p.addr().0, p.len() as u32);
-                    acc = bdd.and(acc, d);
+                    let d = preds.pkt_prefix(Field::DstIp, p.addr().0, p.len() as u32);
+                    acc = preds.and(acc, d);
                 }
                 if let Some(pt) = dst_port {
-                    let d = bdd.pkt_value(Field::DstPort, pt as u32);
-                    acc = bdd.and(acc, d);
+                    let d = preds.pkt_value(Field::DstPort, pt as u32);
+                    acc = preds.and(acc, d);
                 }
                 acc
             }
@@ -488,14 +488,15 @@ impl PolicyChecker {
         let affected_pred = if full {
             Ref::TRUE
         } else {
-            let preds: Vec<Ref> = affected.iter().map(|&e| model.ec_pred(e)).collect();
-            let bdd = model.bdd();
-            bdd.or_all(preds)
+            let ec_preds: Vec<Ref> = affected.iter().map(|&e| model.ec_pred(e)).collect();
+            model.preds().or_all(ec_preds)
         };
         for idx in 0..self.policies.len() {
             let relevant = full || {
                 let pred = self.policies[idx].pred;
-                !model.bdd().and(pred, affected_pred).is_false()
+                // Read-only satisfiability probe: no node interning, no
+                // apply-cache traffic (see `Bdd::intersects`).
+                model.preds().intersects(pred, affected_pred)
             };
             if !relevant {
                 continue;
@@ -539,7 +540,7 @@ impl PolicyChecker {
                 for &ec in &ecs {
                     if self.delivers(ec, src, dst) {
                         let ep = model.ec_pred(ec);
-                        uncovered = model.bdd().diff(uncovered, ep);
+                        uncovered = model.preds().diff(uncovered, ep);
                         if uncovered.is_false() {
                             break;
                         }
