@@ -246,6 +246,18 @@ pub enum Preds {
     Atoms(Atoms),
 }
 
+/// Parallel readers (e.g. APKeep's sharded transfer prefilter) share a
+/// `&Preds` across pool workers and call the non-interning read methods
+/// ([`Predicate::intersects`], [`Predicate::eval`]). Neither store has
+/// interior mutability, so both are `Sync` automatically — this pins
+/// that property at compile time so a future `Cell`/`RefCell` cache in
+/// a store is caught here, not as a heisenbug in the pool.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Preds>();
+    assert_send_sync::<Ref>();
+};
+
 impl Preds {
     /// Create an empty store of the given kind.
     pub fn new(kind: PredKind) -> Self {

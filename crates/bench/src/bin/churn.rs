@@ -40,6 +40,11 @@ struct ChurnResult {
     /// histogram (0 when no rebuild happened).
     rebuild_p50_us: u64,
     rebuild_max_us: u64,
+    /// Logical CPUs of the host (context for the latency columns).
+    host_cores: usize,
+    /// Process peak RSS in KiB at the end of the stream (cumulative
+    /// across the runs of one invocation).
+    peak_rss_kb: u64,
     /// Pipeline-wide telemetry at the end of the stream.
     metrics: realconfig::MetricsSnapshot,
 }
@@ -139,6 +144,8 @@ fn run_stream(
         rebuilds: metrics.counters.get("verifier.rebuilds").copied().unwrap_or(0),
         rebuild_p50_us: rebuild_hist.map_or(0, |h| h.p50),
         rebuild_max_us: rebuild_hist.map_or(0, |h| h.max),
+        host_cores: realconfig_bench::host_cores(),
+        peak_rss_kb: realconfig_bench::peak_rss_kb(),
         metrics,
     }
 }

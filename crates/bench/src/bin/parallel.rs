@@ -5,14 +5,16 @@
 //!       --out bench_results/parallel.json --check <baseline.json>]`
 //!
 //! One verifier per worker count is driven through the same workload —
-//! a full policy pass and a LinkFailure churn leg — with repetitions
-//! interleaved across worker counts so machine noise hits every
-//! configuration equally. Structural results (ECs, pairs, verdicts)
-//! must be identical for every worker count; the binary asserts that
-//! before reporting timings, and `--check` additionally gates them
-//! against a committed baseline. Timings are medians; `host_cores`
-//! records how much hardware parallelism was actually available (on a
-//! single-core host the >1-thread legs measure overhead, not speedup).
+//! a full policy pass, a LinkFailure churn leg, and a from-scratch
+//! full build (config lowering through dataflow, model and policy
+//! bring-up) — with repetitions interleaved across worker counts so
+//! machine noise hits every configuration equally. Structural results
+//! (ECs, pairs, verdicts) must be identical for every worker count;
+//! the binary asserts that before reporting timings, and `--check`
+//! additionally gates them against a committed baseline. Timings are
+//! medians; `host_cores` records how much hardware parallelism was
+//! actually available (on a single-core host the >1-thread legs
+//! measure overhead, not speedup).
 
 use rc_netcfg::gen::ProtocolChoice;
 use rc_netcfg::topology::host_prefix;
@@ -39,8 +41,14 @@ struct ParallelRow {
     /// Median wall time of the LinkFailure apply+restore churn leg
     /// (`samples` changes), µs.
     churn_wall_us: u128,
+    /// Median wall time of one from-scratch full build of the whole
+    /// pipeline at this worker count, µs.
+    build_full_us: u128,
     /// Hardware threads the host actually had during the run.
     host_cores: usize,
+    /// Process peak RSS in KiB when the rows were finalized (shared
+    /// across all worker counts of one run; not a gate field).
+    peak_rss_kb: u64,
     note: String,
 }
 
@@ -84,6 +92,11 @@ fn main() {
     // Interleave reps across worker counts so noise is shared.
     let mut full_us = vec![Vec::new(); rcs.len()];
     let mut churn_us = vec![Vec::new(); rcs.len()];
+    let mut build_us = vec![Vec::new(); rcs.len()];
+    // Fresh builds carry no policies, so their EC count is compared
+    // against the first fresh build, not against the policy-bearing
+    // verifiers above.
+    let mut build_ecs: Option<usize> = None;
     for rep in 0..args.reps {
         for (i, (t, rc)) in rcs.iter_mut().enumerate() {
             let start = Instant::now();
@@ -97,10 +110,26 @@ fn main() {
                 rc.apply_change(&restore).expect("restore verifies");
             }
             churn_us[i].push(start.elapsed().as_micros());
+
+            // From-scratch full build A/B: construction reads the
+            // process-global worker knob, so set it for the duration of
+            // the build only (the long-lived verifiers carry their own
+            // per-verifier override and are unaffected).
+            realconfig::set_threads(*t);
+            let start = Instant::now();
+            let (built, _) =
+                RealConfig::new(w.configs.clone()).expect("full build verifies");
+            build_us[i].push(start.elapsed().as_micros());
+            realconfig::set_threads(0);
+            let ecs = *build_ecs.get_or_insert(built.num_ecs());
+            assert_eq!(built.num_ecs(), ecs, "threads={t}: full-build EC count diverged");
+            drop(built);
+
             eprintln!(
-                "[rep {rep}] threads={t}: full {} churn {}",
+                "[rep {rep}] threads={t}: full {} churn {} build {}",
                 fmt_us(*full_us[i].last().unwrap()),
-                fmt_us(*churn_us[i].last().unwrap())
+                fmt_us(*churn_us[i].last().unwrap()),
+                fmt_us(*build_us[i].last().unwrap())
             );
         }
     }
@@ -119,7 +148,9 @@ fn main() {
             pairs: rc.num_pairs(),
             check_full_us: median(full_us[i].clone()),
             churn_wall_us: median(churn_us[i].clone()),
+            build_full_us: median(build_us[i].clone()),
             host_cores,
+            peak_rss_kb: realconfig_bench::peak_rss_kb(),
             note: if host_cores > 1 {
                 String::new()
             } else {
@@ -128,18 +159,28 @@ fn main() {
         })
         .collect();
 
-    println!("\n{:<8} {:>14} {:>14}", "Threads", "check_full", "churn wall");
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>14}",
+        "Threads", "check_full", "churn wall", "build_full"
+    );
     for r in &rows {
-        println!("{:<8} {:>14} {:>14}", r.threads, fmt_us(r.check_full_us), fmt_us(r.churn_wall_us));
+        println!(
+            "{:<8} {:>14} {:>14} {:>14}",
+            r.threads,
+            fmt_us(r.check_full_us),
+            fmt_us(r.churn_wall_us),
+            fmt_us(r.build_full_us)
+        );
     }
     let base = rows.iter().find(|r| r.threads == 1);
     if let Some(base) = base {
         for r in rows.iter().filter(|r| r.threads > 1) {
             println!(
-                "threads={} speedup over serial: check_full {:.2}x, churn {:.2}x",
+                "threads={} speedup over serial: check_full {:.2}x, churn {:.2}x, build {:.2}x",
                 r.threads,
                 base.check_full_us as f64 / r.check_full_us.max(1) as f64,
                 base.churn_wall_us as f64 / r.churn_wall_us.max(1) as f64,
+                base.build_full_us as f64 / r.build_full_us.max(1) as f64,
             );
         }
     }

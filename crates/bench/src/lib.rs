@@ -133,6 +133,12 @@ pub struct Table2Row {
     /// Incremental, averaged: LC (OSPF) or LP (BGP).
     pub lc_lp_us: u128,
     pub samples: usize,
+    /// Logical CPUs of the machine that produced the row (context for
+    /// the timing columns; not a gate field).
+    pub host_cores: usize,
+    /// Process peak RSS in KiB when the row was finalized (not a gate
+    /// field; cumulative across rows of one run).
+    pub peak_rss_kb: u64,
     /// Engine telemetry at the end of the run (per-operator work,
     /// queue depths, compaction counters).
     pub metrics: rc_telemetry::MetricsSnapshot,
@@ -226,6 +232,8 @@ pub fn run_table2(k: u32, proto: ProtocolChoice, samples: usize, seed: u64) -> T
             .map(|(_, d)| d.as_micros())
             .unwrap_or_default(),
         samples: ports.len(),
+        host_cores: host_cores(),
+        peak_rss_kb: peak_rss_kb(),
         metrics: harness.telemetry.snapshot(),
     }
 }
@@ -257,6 +265,12 @@ pub struct Table3Row {
     /// same state, µs (what T2 would cost without incrementality).
     pub t2_full_us: u128,
     pub samples: usize,
+    /// Logical CPUs of the machine that produced the row (context for
+    /// the timing columns; not a gate field).
+    pub host_cores: usize,
+    /// Process peak RSS in KiB when the row was finalized (not a gate
+    /// field; cumulative across rows of one run).
+    pub peak_rss_kb: u64,
     /// Pipeline-wide telemetry at the end of this row's run (all three
     /// stages, cumulative over the sampled changes).
     pub metrics: rc_telemetry::MetricsSnapshot,
@@ -310,6 +324,8 @@ pub fn run_table3_opts(
                 t2_us: 0,
                 t2_full_us: 0,
                 samples: ports.len(),
+                host_cores: host_cores(),
+                peak_rss_kb: 0,
                 metrics: Default::default(),
             };
             for port in &ports {
@@ -339,6 +355,7 @@ pub fn run_table3_opts(
             acc.t1_us /= n as u128;
             acc.affected_pairs /= n;
             acc.t2_us /= n as u128;
+            acc.peak_rss_kb = peak_rss_kb();
             acc.metrics = rc.metrics_snapshot();
             rows.push(acc);
         }
@@ -388,6 +405,31 @@ pub fn check_gate(rows_json: &str, baseline_path: &str, fields: &[&str]) -> Resu
     } else {
         Err(mismatches.join("\n"))
     }
+}
+
+/// Logical CPU count of the host a bench row was produced on (`0` if
+/// the platform cannot report it). Recorded in every row so numbers
+/// from differently sized machines are never compared naively; not a
+/// gate field.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0)
+}
+
+/// Peak resident set size of this process so far, in KiB, read from
+/// `/proc/self/status` (`VmHWM`). Returns `0` on platforms without
+/// procfs. A high-water mark: it only grows over the process lifetime,
+/// so per-row values in a multi-row run are cumulative, not per-row.
+/// Not a gate field.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+        }
+    }
+    0
 }
 
 /// Format a duration in the paper's style.

@@ -549,9 +549,11 @@ impl RealConfig {
 
         let mut engine = RoutingEngine::new();
         engine.set_telemetry(self.telemetry.clone());
+        engine.set_threads(self.threads);
         let mut model = ApkModel::with_backend(self.backend);
         model.set_telemetry(&self.telemetry);
         model.set_full_scan(self.model_full_scan);
+        model.set_threads(self.threads);
         let mut checker = PolicyChecker::new();
         checker.set_telemetry(&self.telemetry);
         checker.set_threads(self.threads);
@@ -767,15 +769,18 @@ impl RealConfig {
         self.model.set_full_scan(!enabled);
     }
 
-    /// Override the worker count for this verifier's parallel policy
-    /// checking (`None` falls back to the process-global knob —
-    /// [`rc_par::set_threads`] / the `RC_THREADS` environment variable /
-    /// available parallelism; `Some(1)` forces the exact serial path).
-    /// Results are byte-identical for any worker count. The setting
-    /// survives [`RealConfig::rebuild`].
+    /// Override the worker count for this verifier's parallel work —
+    /// policy checking, the dataflow engine's sharded operators, and
+    /// the model's EC scans (`None` falls back to the process-global
+    /// knob — [`rc_par::set_threads`] / the `RC_THREADS` environment
+    /// variable / available parallelism; `Some(1)` forces the exact
+    /// serial paths). Results are byte-identical for any worker count.
+    /// The setting survives [`RealConfig::rebuild`].
     pub fn set_threads(&mut self, threads: Option<usize>) {
         self.threads = threads;
         self.checker.set_threads(threads);
+        self.engine.set_threads(threads);
+        self.model.set_threads(threads);
     }
 
     /// The per-verifier worker-count override, if any.

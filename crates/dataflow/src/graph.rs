@@ -36,6 +36,9 @@ pub(crate) struct Scheduler {
     dirty: RefCell<Vec<bool>>,
     steps_run: Cell<u64>,
     steps_skipped: Cell<u64>,
+    /// Worker count for shard dispatch; 0 means "unset" — resolve via
+    /// the process-wide [`rc_par::threads`] knob at dispatch time.
+    threads: Cell<usize>,
 }
 
 impl Scheduler {
@@ -44,7 +47,23 @@ impl Scheduler {
             dirty: RefCell::new(Vec::new()),
             steps_run: Cell::new(0),
             steps_skipped: Cell::new(0),
+            threads: Cell::new(0),
         })
+    }
+
+    /// Pin (or with `None` unpin) the worker count used when stateful
+    /// operators dispatch their shards.
+    pub fn set_threads(&self, threads: Option<usize>) {
+        self.threads.set(threads.unwrap_or(0));
+    }
+
+    /// The worker count shard dispatch runs at: the pinned count, else
+    /// the process-wide [`rc_par::threads`] resolution.
+    pub fn worker_threads(&self) -> usize {
+        match self.threads.get() {
+            0 => rc_par::threads(),
+            n => n,
+        }
     }
 
     /// Allocate a slot for a newly registered node.
@@ -87,6 +106,51 @@ impl Scheduler {
     pub fn step_counts(&self) -> (u64, u64) {
         (self.steps_run.get(), self.steps_skipped.get())
     }
+}
+
+/// Minimum freshly routed records in one operator step before its
+/// shards go to the pool. Below this the pool's spawn/steal overhead
+/// beats the win — the regression PR 5 measured on tiny churn batches —
+/// so the shards run inline on the caller's thread instead.
+pub(crate) const SHARD_DISPATCH_MIN: usize = 512;
+
+/// How one [`run_shards`] call was executed (telemetry material).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ShardMode {
+    /// Shards ran as pool tasks.
+    Dispatched,
+    /// Multiple workers were available but the step was below
+    /// [`SHARD_DISPATCH_MIN`]; shards ran inline (adaptive fallback).
+    Inlined,
+    /// Single-worker configuration: the exact serial path.
+    Serial,
+}
+
+/// Step every shard of a stateful operator, dispatching to the
+/// work-stealing pool when `records` (the step's freshly routed input)
+/// crosses [`SHARD_DISPATCH_MIN`] and more than one worker is
+/// configured. Results always come back in shard order — merge order,
+/// and therefore operator output, is identical in all three modes.
+pub(crate) fn run_shards<S, R, F>(
+    sched: Option<&Rc<Scheduler>>,
+    records: usize,
+    shards: &mut [S],
+    f: F,
+) -> (Vec<R>, ShardMode)
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let nthreads = sched.map_or(1, |s| s.worker_threads());
+    if nthreads <= 1 {
+        return (shards.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect(), ShardMode::Serial);
+    }
+    if records < SHARD_DISPATCH_MIN {
+        return (shards.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect(), ShardMode::Inlined);
+    }
+    let (out, _stats) = rc_par::par_map_mut_in(nthreads.min(shards.len()), shards, f);
+    (out, ShardMode::Dispatched)
 }
 
 /// A typed edge: producers push difference records, the (single)
@@ -289,6 +353,15 @@ pub struct OpStats {
     /// Internal pending work: a reduce's unprocessed interesting
     /// times, a join's deferred future-time outputs.
     pub pending: usize,
+    /// Steps whose shards ran as pool tasks.
+    pub shard_dispatched: u64,
+    /// Steps that stayed inline because the batch was below the
+    /// dispatch threshold while multiple workers were configured
+    /// (the adaptive serial fallback firing).
+    pub shard_inlined: u64,
+    /// Trace records currently held per key shard (indexes
+    /// `0..`[`crate::util::NUM_SHARDS`]) — the shard balance.
+    pub shard_records: [usize; crate::util::NUM_SHARDS],
 }
 
 /// Shared, build-time mutable graph state. Collections hold a weak
@@ -369,6 +442,14 @@ struct EngineTelemetry {
     work_by_op: BTreeMap<&'static str, u64>,
     /// Last-seen cumulative scheduler counters (for per-epoch deltas).
     sched_baseline: (u64, u64),
+    /// Shard metrics, registered lazily on first activity so serial
+    /// runs (which never dispatch or inline) carry no new keys and the
+    /// committed gate baselines stay byte-identical.
+    shard_dispatches: Option<rc_telemetry::Counter>,
+    small_tasks_inlined: Option<rc_telemetry::Counter>,
+    shard_records: Option<Vec<rc_telemetry::Gauge>>,
+    shard_dispatched_seen: u64,
+    shard_inlined_seen: u64,
 }
 
 impl EngineTelemetry {
@@ -387,6 +468,11 @@ impl EngineTelemetry {
             steps_skipped: registry.counter("dataflow.sched.steps_skipped"),
             work_by_op: BTreeMap::new(),
             sched_baseline: (0, 0),
+            shard_dispatches: None,
+            small_tasks_inlined: None,
+            shard_records: None,
+            shard_dispatched_seen: 0,
+            shard_inlined_seen: 0,
             registry,
         }
     }
@@ -418,6 +504,39 @@ impl EngineTelemetry {
         self.steps_run.add(run - self.sched_baseline.0);
         self.steps_skipped.add(skipped - self.sched_baseline.1);
         self.sched_baseline = (run, skipped);
+
+        // Shard activity: register on first use only, so serial runs
+        // leave the snapshot's key set untouched.
+        let dispatched: u64 = stats.values().map(|s| s.shard_dispatched).sum();
+        if dispatched > self.shard_dispatched_seen {
+            self.shard_dispatches
+                .get_or_insert_with(|| self.registry.counter("dataflow.shard.dispatches"))
+                .add(dispatched - self.shard_dispatched_seen);
+            self.shard_dispatched_seen = dispatched;
+        }
+        let inlined: u64 = stats.values().map(|s| s.shard_inlined).sum();
+        if inlined > self.shard_inlined_seen {
+            self.small_tasks_inlined
+                .get_or_insert_with(|| self.registry.counter("par.small_tasks_inlined"))
+                .add(inlined - self.shard_inlined_seen);
+            self.shard_inlined_seen = inlined;
+        }
+        if dispatched > 0 {
+            let mut per = [0usize; crate::util::NUM_SHARDS];
+            for s in stats.values() {
+                for (acc, n) in per.iter_mut().zip(s.shard_records) {
+                    *acc += n;
+                }
+            }
+            let gauges = self.shard_records.get_or_insert_with(|| {
+                (0..crate::util::NUM_SHARDS)
+                    .map(|i| self.registry.gauge(&format!("dataflow.shard.records.{i}")))
+                    .collect()
+            });
+            for (g, n) in gauges.iter().zip(per) {
+                g.set(n as i64);
+            }
+        }
     }
 }
 
@@ -445,6 +564,15 @@ impl Dataflow {
     /// before and after compaction.
     pub fn set_telemetry(&mut self, registry: Telemetry) {
         self.telemetry = Some(EngineTelemetry::new(registry));
+    }
+
+    /// Pin (or with `None` unpin) the worker count the stateful
+    /// operators dispatch their key shards at. Unpinned, dispatch
+    /// follows the process-wide [`rc_par::threads`] resolution. Any
+    /// worker count — including 1 — produces byte-identical batches,
+    /// traces and outputs; the count changes speed only.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.state.borrow().sched.set_threads(threads);
     }
 
     /// Per-operator-name statistics aggregated over the whole graph,

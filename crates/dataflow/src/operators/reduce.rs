@@ -1,4 +1,4 @@
-//! The differential grouping operator.
+//! The differential grouping operator, sharded by key.
 //!
 //! `reduce` applies a function to the accumulated multiset of values for
 //! each key and maintains the function's output incrementally: whenever
@@ -15,25 +15,40 @@
 //! input time `t` arrives. Pending times are processed in lexicographic
 //! order (a linear extension of the partial order) once the scheduler
 //! reaches them.
+//!
+//! All per-key state — both traces and the pending-times set — is
+//! partitioned into [`NUM_SHARDS`] key shards, so a step can run the
+//! shards as independent pool tasks (see `graph::run_shards`). Shard
+//! stagings are merged by sorting on `(time, data)`: the serial operator
+//! emits in exactly that order (pending times drain in `(t, k)` order
+//! and `value_delta` yields values in ascending order, with at most one
+//! record per `(t, k, w)`), so the merged batch is byte-identical to the
+//! single-shard result at any worker count.
 
 use std::collections::BTreeSet;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::delta::{consolidate, consolidate_values, value_delta, Data, Delta, Diff};
 use crate::error::EvalError;
-use crate::graph::{Fanout, OpNode, Queue, Scheduler, UNBOUND};
+use crate::graph::{run_shards, Fanout, OpNode, Queue, Scheduler, ShardMode, UNBOUND};
 use crate::time::Time;
 use crate::trace::KeyTrace;
+use crate::util::{shard_of, NUM_SHARDS};
 
 /// The user reduction: receives the key and its consolidated, sorted,
 /// positive-multiplicity input values, returns output values with
-/// multiplicities.
-pub(crate) type ReduceLogic<K, V, W> = Box<dyn FnMut(&K, &[(V, Diff)]) -> Vec<(W, Diff)>>;
+/// multiplicities. `Fn + Send + Sync` because shards evaluate it
+/// concurrently from pool workers.
+pub(crate) type ReduceFn<K, V, W> = dyn Fn(&K, &[(V, Diff)]) -> Vec<(W, Diff)> + Send + Sync;
 
-pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
-    name: &'static str,
-    slot: usize,
-    input: Queue<(K, V)>,
+/// Shared handle to a [`ReduceFn`], cloned into each shard dispatch.
+pub(crate) type ReduceLogic<K, V, W> = Arc<ReduceFn<K, V, W>>;
+
+/// One key shard: input/output traces and pending interesting times for
+/// the keys that hash here, plus the exchange inbox the routing phase
+/// fills each step.
+struct ReduceShard<K: Data, V: Data, W: Data> {
     in_trace: KeyTrace<K, V>,
     out_trace: KeyTrace<K, W>,
     /// Times (per key) at which the output may need correction, not yet
@@ -43,57 +58,38 @@ pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
     /// Scratch buffer for per-key recorded-times lookups, reused across
     /// keys and steps to avoid an allocation per batch record.
     times_scratch: Vec<Time>,
-    logic: ReduceLogic<K, V, W>,
-    output: Fanout<(K, W)>,
-    work: u64,
+    batch: Vec<Delta<(K, V)>>,
 }
 
-impl<K: Data, V: Data, W: Data> ReduceNode<K, V, W> {
-    pub fn new(
-        name: &'static str,
-        input: Queue<(K, V)>,
-        output: Fanout<(K, W)>,
-        logic: ReduceLogic<K, V, W>,
-    ) -> Self {
-        ReduceNode {
-            name,
-            slot: UNBOUND,
-            input,
+impl<K: Data, V: Data, W: Data> ReduceShard<K, V, W> {
+    fn new() -> Self {
+        ReduceShard {
             in_trace: KeyTrace::new(),
             out_trace: KeyTrace::new(),
             pending: BTreeSet::new(),
             times_scratch: Vec::new(),
-            logic,
-            output,
-            work: 0,
+            batch: Vec::new(),
         }
     }
-}
 
-impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
-    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
-        self.slot = slot;
-        self.input.bind(slot, sched);
-    }
-
-    fn slot(&self) -> usize {
-        self.slot
-    }
-
-    fn step(&mut self, now: Time) -> Result<(), EvalError> {
-        let mut batch = self.input.take_batch();
-        if batch.is_empty() && self.pending.is_empty() {
-            return Ok(());
-        }
-        consolidate(&mut batch);
-        self.work += batch.len() as u64;
+    /// The serial reduce algorithm, restricted to this shard's keys.
+    /// Returns the staged output (in `(t, k, w)` order) and the number
+    /// of pending times processed (work measure).
+    fn step(
+        &mut self,
+        name: &'static str,
+        now: Time,
+        logic: &ReduceFn<K, V, W>,
+    ) -> (Vec<Delta<(K, W)>>, u64) {
+        let batch = std::mem::take(&mut self.batch);
 
         // Record the new differences and enqueue interesting times:
         // every new time, plus its join with every time already in the
-        // key's history.
+        // key's history. The routed batch preserves the globally
+        // consolidated `((k, v), t)` order, so adjacent dedup is valid.
         let mut new_times: Vec<(K, Time)> = Vec::new();
         for ((k, _), t, _) in &batch {
-            debug_assert!(t.leq(now), "{}: record at {t:?} arrived after {now:?}", self.name);
+            debug_assert!(t.leq(now), "{name}: record at {t:?} arrived after {now:?}");
             if new_times.last().map(|(lk, lt)| lk != k || lt != t).unwrap_or(true) {
                 new_times.push((k.clone(), *t));
             }
@@ -119,20 +115,19 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
         // epoch of their arguments), so the lexicographic minimum is
         // processable iff its iteration component has been reached.
         let mut staging: Vec<Delta<(K, W)>> = Vec::new();
+        let mut processed = 0u64;
         while let Some((t, k)) = self.pending.iter().next().cloned() {
             if !t.leq(now) {
                 break;
             }
             self.pending.remove(&(t, k.clone()));
-            self.work += 1;
+            processed += 1;
             let in_acc = self.in_trace.accumulate(&k, t);
             debug_assert!(
                 in_acc.iter().all(|(_, r)| *r > 0),
-                "{}: negative input multiplicity for {k:?} at {t:?}: {in_acc:?}",
-                self.name
+                "{name}: negative input multiplicity for {k:?} at {t:?}: {in_acc:?}"
             );
-            let mut correct =
-                if in_acc.is_empty() { Vec::new() } else { (self.logic)(&k, &in_acc) };
+            let mut correct = if in_acc.is_empty() { Vec::new() } else { logic(&k, &in_acc) };
             consolidate_values(&mut correct);
             let out_acc = self.out_trace.accumulate(&k, t);
             let delta = value_delta(&correct, &out_acc);
@@ -141,6 +136,92 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
                 staging.push(((k.clone(), w), t, r));
             }
         }
+        (staging, processed)
+    }
+}
+
+pub(crate) struct ReduceNode<K: Data, V: Data, W: Data> {
+    name: &'static str,
+    slot: usize,
+    sched: Option<Rc<Scheduler>>,
+    input: Queue<(K, V)>,
+    shards: Vec<ReduceShard<K, V, W>>,
+    logic: ReduceLogic<K, V, W>,
+    output: Fanout<(K, W)>,
+    work: u64,
+    shard_dispatched: u64,
+    shard_inlined: u64,
+}
+
+impl<K: Data, V: Data, W: Data> ReduceNode<K, V, W> {
+    pub fn new(
+        name: &'static str,
+        input: Queue<(K, V)>,
+        output: Fanout<(K, W)>,
+        logic: ReduceLogic<K, V, W>,
+    ) -> Self {
+        ReduceNode {
+            name,
+            slot: UNBOUND,
+            sched: None,
+            input,
+            shards: (0..NUM_SHARDS).map(|_| ReduceShard::new()).collect(),
+            logic,
+            output,
+            work: 0,
+            shard_dispatched: 0,
+            shard_inlined: 0,
+        }
+    }
+}
+
+impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
+    fn bind(&mut self, slot: usize, sched: &Rc<Scheduler>) {
+        self.slot = slot;
+        self.sched = Some(Rc::clone(sched));
+        self.input.bind(slot, sched);
+    }
+
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
+    fn step(&mut self, now: Time) -> Result<(), EvalError> {
+        let mut batch = self.input.take_batch();
+        if batch.is_empty() && !self.has_internal_work() {
+            return Ok(());
+        }
+        consolidate(&mut batch);
+        let records = batch.len() + self.shards.iter().map(|s| s.pending.len()).sum::<usize>();
+        self.work += batch.len() as u64;
+
+        // Exchange: route each delta to the shard owning its key.
+        for d in batch {
+            let s = shard_of(&d.0 .0);
+            self.shards[s].batch.push(d);
+        }
+
+        let name = self.name;
+        let logic = Arc::clone(&self.logic);
+        let (results, mode) = run_shards(self.sched.as_ref(), records, &mut self.shards, |i, sh| {
+            rc_faults::fire_shard(rc_faults::ShardSite::Dataflow, i);
+            sh.step(name, now, &*logic)
+        });
+        match mode {
+            ShardMode::Dispatched => self.shard_dispatched += 1,
+            ShardMode::Inlined => self.shard_inlined += 1,
+            ShardMode::Serial => {}
+        }
+
+        // Merge by sorting on (time, data): exactly the serial emission
+        // order, and unique per (t, k, w), so the result is independent
+        // of sharding.
+        let mut staging: Vec<Delta<(K, W)>> = Vec::new();
+        for (shard_staging, processed) in results {
+            self.work += processed;
+            staging.extend(shard_staging);
+        }
+        staging.sort_unstable_by(|a, b| (a.1, &a.0).cmp(&(b.1, &b.0)));
         self.output.emit(staging);
         Ok(())
     }
@@ -150,27 +231,33 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
     }
 
     fn has_internal_work(&self) -> bool {
-        !self.pending.is_empty()
+        self.shards.iter().any(|s| !s.pending.is_empty())
     }
 
     fn pending_iter(&self, epoch: u64) -> Option<u32> {
-        self.pending.iter().filter(|(t, _)| t.epoch == epoch).map(|(t, _)| t.iter).min()
+        self.shards
+            .iter()
+            .flat_map(|s| s.pending.iter())
+            .filter(|(t, _)| t.epoch == epoch)
+            .map(|(t, _)| t.iter)
+            .min()
     }
 
     fn end_epoch(&mut self, epoch: u64) {
         debug_assert!(
-            self.pending.iter().all(|(t, _)| t.epoch > epoch),
-            "{}: unprocessed interesting times at epoch {epoch} end: {:?}",
-            self.name,
-            self.pending.iter().take(4).collect::<Vec<_>>()
+            self.shards.iter().all(|s| s.pending.iter().all(|(t, _)| t.epoch > epoch)),
+            "{}: unprocessed interesting times at epoch {epoch} end",
+            self.name
         );
         debug_assert!(!self.has_queued(), "{}: input left queued at epoch end", self.name);
     }
 
     fn compact(&mut self, frontier: u64) {
-        debug_assert!(self.pending.is_empty(), "{}: compacting with pending times", self.name);
-        self.in_trace.compact(frontier);
-        self.out_trace.compact(frontier);
+        for s in &mut self.shards {
+            debug_assert!(s.pending.is_empty(), "{}: compacting with pending times", self.name);
+            s.in_trace.compact(frontier);
+            s.out_trace.compact(frontier);
+        }
     }
 
     fn work(&self) -> u64 {
@@ -181,10 +268,16 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
         let e = acc.entry(self.name()).or_default();
         e.work += self.work;
         e.queued += self.input.len();
-        e.trace_records += self.in_trace.len() + self.out_trace.len();
-        e.trace_base_records += self.in_trace.base_len() + self.out_trace.base_len();
-        e.trace_recent_records += self.in_trace.recent_len() + self.out_trace.recent_len();
-        e.pending += self.pending.len();
+        for (i, s) in self.shards.iter().enumerate() {
+            let records = s.in_trace.len() + s.out_trace.len();
+            e.trace_records += records;
+            e.trace_base_records += s.in_trace.base_len() + s.out_trace.base_len();
+            e.trace_recent_records += s.in_trace.recent_len() + s.out_trace.recent_len();
+            e.pending += s.pending.len();
+            e.shard_records[i] += records;
+        }
+        e.shard_dispatched += self.shard_dispatched;
+        e.shard_inlined += self.shard_inlined;
     }
 
     fn name(&self) -> &'static str {

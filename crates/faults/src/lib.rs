@@ -280,6 +280,63 @@ pub fn fire_walk(ec: u32) {
     }
 }
 
+/// A sharded pipeline stage whose pool tasks carry a global one-shot
+/// panic point (the shard sibling of [`fire_walk`]'s).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardSite {
+    /// A dataflow operator's per-shard step task (stage 1).
+    Dataflow,
+    /// An APKeep transfer's candidate-chunk intersection task (stage 2).
+    ApkTransfer,
+}
+
+impl ShardSite {
+    fn slot(self) -> &'static AtomicU64 {
+        match self {
+            ShardSite::Dataflow => &DATAFLOW_SHARD_PANIC,
+            ShardSite::ApkTransfer => &APK_SHARD_PANIC,
+        }
+    }
+}
+
+/// Process-global one-shot shard-panic points, one per sharded stage.
+/// Same rationale as [`WALK_PANIC_TARGET`]: thread-local plans cannot
+/// reach pool workers, and the property under test is that a panic on
+/// *any* shard task — dataflow operator shard or APKeep transfer chunk —
+/// unwinds through the pool into the verifier's containment instead of
+/// deadlocking a barrier. `u64::MAX` means disarmed; any other value is
+/// "panic on the next shard task at this site".
+static DATAFLOW_SHARD_PANIC: AtomicU64 = AtomicU64::new(u64::MAX);
+static APK_SHARD_PANIC: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Arm the one-shot shard-panic point at `site`: the next shard task
+/// that reaches [`fire_shard`] there panics, on whichever worker runs
+/// it, then the point disarms itself.
+pub fn arm_shard_panic(site: ShardSite) {
+    site.slot().store(0, Ordering::SeqCst);
+}
+
+/// Disarm a shard-panic point (idempotent; for test cleanup when the
+/// armed site was never reached).
+pub fn disarm_shard_panic(site: ShardSite) {
+    site.slot().store(u64::MAX, Ordering::SeqCst);
+}
+
+/// The shard hook. Sharded stages call this at the top of each pool
+/// task, passing the shard (or chunk) index. Disarmed — the common case
+/// — it is one relaxed atomic load; armed, exactly one task wins the
+/// disarming compare-exchange and panics with the injected marker.
+pub fn fire_shard(site: ShardSite, shard: usize) {
+    let slot = site.slot();
+    let armed = slot.load(Ordering::Relaxed);
+    if armed == u64::MAX {
+        return;
+    }
+    if slot.compare_exchange(armed, u64::MAX, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+        panic!("{INJECTED_PANIC_PREFIX} panic in {site:?} shard task {shard}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -362,6 +419,21 @@ mod tests {
         let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
         fire_walk(42); // one-shot
+    }
+
+    #[test]
+    fn shard_panic_is_one_shot_per_site() {
+        disarm_shard_panic(ShardSite::Dataflow);
+        disarm_shard_panic(ShardSite::ApkTransfer);
+        fire_shard(ShardSite::Dataflow, 0); // disarmed: no-op
+        arm_shard_panic(ShardSite::Dataflow);
+        fire_shard(ShardSite::ApkTransfer, 1); // other site: no-op
+        let err = std::panic::catch_unwind(|| fire_shard(ShardSite::Dataflow, 3))
+            .expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.starts_with(INJECTED_PANIC_PREFIX), "got: {msg}");
+        assert!(msg.contains("shard task 3"), "got: {msg}");
+        fire_shard(ShardSite::Dataflow, 3); // self-disarmed: no-op
     }
 
     #[test]

@@ -125,10 +125,66 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_run(nthreads, items.len(), |i| f(i, &items[i]))
+}
+
+/// Map `f` over `items` with **exclusive** access to each element, on
+/// `nthreads` workers, returning results in input order plus the run's
+/// [`PoolStats`]. This is the mutable sibling of [`par_map_indexed_in`]
+/// for per-worker state that must be updated in place — e.g. the
+/// dataflow engine's per-shard operator traces.
+///
+/// Each index is visited exactly once (disjoint contiguous chunks,
+/// handed out under a mutex), so handing worker `w` a `&mut items[i]`
+/// aliases nothing — the `unsafe` below is the standard disjoint-slice
+/// split, just expressed per index instead of per subslice. `T` only
+/// needs `Send` (the element crosses to one worker), not `Sync`.
+///
+/// Serial path, ordering, and panic propagation are identical to
+/// [`par_map_indexed_in`].
+pub fn par_map_mut_in<T, R, F>(nthreads: usize, items: &mut [T], f: F) -> (Vec<R>, PoolStats)
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    /// Raw base pointer that may cross threads. Sound to share because
+    /// the runner visits every index at most once, so no two workers
+    /// ever materialize `&mut` to the same element.
+    struct SendPtr<T>(*mut T);
+    unsafe impl<T: Send> Sync for SendPtr<T> {}
+    impl<T> SendPtr<T> {
+        // A method (not field access) so closures capture the Sync
+        // wrapper, not the raw pointer inside it.
+        fn get(&self) -> *mut T {
+            self.0
+        }
+    }
+
     let n = items.len();
+    let base = SendPtr(items.as_mut_ptr());
+    par_run(nthreads, n, |i| {
+        debug_assert!(i < n);
+        // SAFETY: `i < n` and `par_run` dispatches each index exactly
+        // once across all workers, so this `&mut` is unaliased.
+        let item = unsafe { &mut *base.get().add(i) };
+        f(i, item)
+    })
+}
+
+/// The shared pool body: run `run_item(i)` for every `i in 0..n` on
+/// `nthreads` workers and reassemble results in index order. All of
+/// the chunk dealing, stealing, panic poisoning, and stats collection
+/// lives here; the public maps only differ in how they turn an index
+/// into an item reference.
+fn par_run<R, F>(nthreads: usize, n: usize, run_item: F) -> (Vec<R>, PoolStats)
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
     if nthreads <= 1 || n < 2 {
         let t0 = Instant::now();
-        let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let out: Vec<R> = (0..n).map(&run_item).collect();
         let stats = PoolStats {
             workers: 1,
             tasks: n as u64,
@@ -182,11 +238,11 @@ where
                 }
             }
             let Some((start, end)) = task else { break };
-            for (i, item) in items.iter().enumerate().take(end).skip(start) {
+            for i in start..end {
                 if poisoned.load(Ordering::Relaxed) {
                     break 'run;
                 }
-                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                match catch_unwind(AssertUnwindSafe(|| run_item(i))) {
                     Ok(r) => local.push((i, r)),
                     Err(payload) => {
                         let mut slot = lock_clean(&panic_slot);
@@ -318,6 +374,35 @@ mod tests {
         for (i, h) in hits.iter().enumerate() {
             assert_eq!(h.load(Ordering::Relaxed), 1, "item {i}");
         }
+    }
+
+    #[test]
+    fn mut_map_updates_every_element_once() {
+        for nthreads in [1, 2, 4] {
+            let mut items: Vec<u64> = (0..733).collect();
+            let (out, _) = par_map_mut_in(nthreads, &mut items, |i, x| {
+                *x += 1;
+                (i as u64) + *x
+            });
+            assert_eq!(items, (1..=733).collect::<Vec<u64>>());
+            assert_eq!(out, (0..733).map(|i| 2 * i + 1).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
+    fn mut_map_panic_propagates_and_poisons() {
+        let mut items: Vec<u32> = (0..64).collect();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            par_map_mut_in(4, &mut items, |_, x| {
+                if *x == 13 {
+                    panic!("mut boom {x}");
+                }
+                *x
+            })
+        }))
+        .expect_err("panic must cross the pool");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("mut boom 13"), "got: {msg}");
     }
 
     #[test]

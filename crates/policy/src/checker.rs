@@ -81,6 +81,11 @@ pub struct CheckReport {
     pub newly_satisfied: Vec<PolicyId>,
 }
 
+/// Minimum affected-EC count before the walk phase is dispatched to
+/// the pool; smaller passes run inline on the caller's thread (counted
+/// by `par.small_tasks_inlined`).
+const WALK_INLINE_MIN: usize = 8;
+
 /// The incremental policy checker. Holds EC-keyed state; must be used
 /// with the *same* [`ApkModel`] across its lifetime (its predicates
 /// live in that model's BDD manager).
@@ -117,6 +122,7 @@ struct CheckerTelemetry {
     pool_tasks: Option<rc_telemetry::Counter>,
     pool_steals: Option<rc_telemetry::Counter>,
     pool_busy_us: Option<rc_telemetry::Histogram>,
+    small_tasks_inlined: Option<rc_telemetry::Counter>,
 }
 
 impl CheckerTelemetry {
@@ -133,7 +139,18 @@ impl CheckerTelemetry {
             pool_tasks: None,
             pool_steals: None,
             pool_busy_us: None,
+            small_tasks_inlined: None,
         }
+    }
+
+    /// Count one walk phase that was inlined on the caller's thread
+    /// because it was too small to be worth pool dispatch. Lazily
+    /// registered so serial runs' snapshots carry no `par.*` keys.
+    fn record_inlined(&mut self) {
+        let reg = &self.registry;
+        self.small_tasks_inlined
+            .get_or_insert_with(|| reg.counter("par.small_tasks_inlined"))
+            .add(1);
     }
 
     /// Record one parallel walk phase's pool statistics. Serial passes
@@ -395,7 +412,15 @@ impl PolicyChecker {
         // order, so the serial merge in phase 2, and with it the report
         // and the verdict history, is identical for any worker count.
         let affected_list: Vec<EcId> = affected.iter().copied().collect();
-        let nthreads = self.threads.unwrap_or_else(rc_par::threads);
+        let mut nthreads = self.threads.unwrap_or_else(rc_par::threads);
+        // Adaptive fallback: a handful of walks is cheaper on the
+        // caller's thread than the scoped-pool spawn it would trigger.
+        // Walks are order-independent, so inlining changes nothing but
+        // latency.
+        let inlined = nthreads > 1 && affected_list.len() < WALK_INLINE_MIN;
+        if inlined {
+            nthreads = 1;
+        }
         let (analyses, pool_stats) = {
             let view = model.ec_view();
             let nodes = &self.nodes;
@@ -407,6 +432,9 @@ impl PolicyChecker {
         };
         if let Some(tel) = &mut self.telemetry {
             tel.record_pool(&pool_stats);
+            if inlined {
+                tel.record_inlined();
+            }
         }
 
         // Phase 2: merge per-EC analyses into the checker's state,
