@@ -163,9 +163,8 @@ fn main() {
         atoms_over_bdd_t1: ratio,
         reports_compared,
     };
-    std::fs::create_dir_all("bench_results").ok();
     let json = serde_json::to_string_pretty(&out).expect("serializes");
-    std::fs::write(&args.out, json).expect("results written");
+    realconfig_bench::write_results(&args.out, &json);
     println!("Raw results: {}", args.out);
 }
 

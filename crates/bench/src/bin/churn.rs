@@ -198,12 +198,10 @@ fn main() {
         "\nWith per-change compaction the stream stays flat — the verifier can absorb the \
          paper's 'regular maintenance' workload indefinitely."
     );
-    std::fs::create_dir_all("bench_results").ok();
-    std::fs::write(
+    realconfig_bench::write_results(
         "bench_results/churn.json",
-        serde_json::to_string_pretty(&results).expect("serializes"),
-    )
-    .expect("written");
+        &serde_json::to_string_pretty(&results).expect("serializes"),
+    );
     println!("Raw results: bench_results/churn.json");
 }
 

@@ -103,7 +103,6 @@ fn main() {
     let speedup = scratch.as_secs_f64() / incremental.as_secs_f64().max(1e-9);
     println!("\nspeedup: {speedup:.1}×  (paper §5 reports ~20× for this use case)");
 
-    std::fs::create_dir_all("bench_results").ok();
     let result = SpecmineResult {
         k,
         scenarios: scenarios.len(),
@@ -111,11 +110,10 @@ fn main() {
         scratch_total_us: scratch.as_micros(),
         speedup,
     };
-    std::fs::write(
+    realconfig_bench::write_results(
         "bench_results/specmine.json",
-        serde_json::to_string_pretty(&result).expect("serializes"),
-    )
-    .expect("written");
+        &serde_json::to_string_pretty(&result).expect("serializes"),
+    );
     println!("Raw results: bench_results/specmine.json");
 }
 

@@ -92,8 +92,7 @@ fn main() {
         }
     }
 
-    std::fs::create_dir_all("bench_results").ok();
-    std::fs::write(&args.out, rows_json).expect("results written");
+    realconfig_bench::write_results(&args.out, &rows_json);
     println!("Raw results: {}", args.out);
 }
 

@@ -407,6 +407,23 @@ pub fn check_gate(rows_json: &str, baseline_path: &str, fields: &[&str]) -> Resu
     }
 }
 
+/// Write a results file under `bench_results/` atomically (write-temp,
+/// fsync, rename via [`rc_store::atomic_write`]): an interrupted or
+/// panicking bench run never clobbers a previously committed baseline
+/// with a half-written file. Panics on failure, like the direct writes
+/// it replaces — a bench that cannot record results should fail loudly.
+pub fn write_results(path: &str, contents: &str) {
+    let p = std::path::Path::new(path);
+    if let Some(dir) = p.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    if let Err(e) = rc_store::atomic_write(p, contents.as_bytes()) {
+        panic!("cannot write results to {path}: {e}");
+    }
+}
+
 /// Logical CPU count of the host a bench row was produced on (`0` if
 /// the platform cannot report it). Recorded in every row so numbers
 /// from differently sized machines are never compared naively; not a

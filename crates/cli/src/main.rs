@@ -2,9 +2,11 @@
 //! verifier.
 //!
 //! ```text
-//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms] [--metrics FILE]
+//! realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms] [--metrics FILE] [--state-dir DIR]
 //! realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--backend bdd|atoms] [--metrics FILE]
 //! realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N] [--backend bdd|atoms]
+//! realconfig snapshot <dir> --state-dir DIR [--policy ...]... [--threads N] [--backend bdd|atoms]
+//! realconfig restore <dir> --state-dir DIR
 //! ```
 //!
 //! A configuration directory holds one `<hostname>.cfg` per device.
@@ -35,6 +37,14 @@
 //! pipeline fails mid-change, the new configurations are verified by a
 //! full rebuild instead and the report is flagged `recovered`.
 //!
+//! `--state-dir DIR` makes verifier state durable: `verify` restarts
+//! warm from the newest checksummed snapshot (+ apply-journal replay)
+//! when one exists, and writes a fresh snapshot after a cold build;
+//! `snapshot` builds from configs and persists without further checks;
+//! `restore` exercises the recovery ladder alone and reports which rung
+//! ran. Corrupt state never prevents startup — the ladder falls back to
+//! the previous snapshot and then to a full rebuild from the configs.
+//!
 //! # Exit codes
 //!
 //! | code | meaning |
@@ -44,6 +54,7 @@
 //! | 2 | usage, I/O or configuration parse error |
 //! | 3 | control plane divergence |
 //! | 4 | internal pipeline failure (contained panic / poisoned verifier) |
+//! | 5 | durable state unrecoverable; verifier rebuilt from configs (degraded, running) |
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
@@ -61,11 +72,15 @@ fn main() -> ExitCode {
         Some("verify") => cmd_verify(&args[1..]),
         Some("diff") => cmd_diff(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("snapshot") => cmd_snapshot(&args[1..]),
+        Some("restore") => cmd_restore(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms]\n  \
+                "usage:\n  realconfig verify <dir> [--policy reach:SRC:DST:PREFIX]... [--threads N] [--backend bdd|atoms] [--state-dir DIR]\n  \
                  realconfig diff <old-dir> <new-dir> [--policy ...]... [--json] [--recover] [--threads N] [--backend bdd|atoms]\n  \
-                 realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N] [--backend bdd|atoms]"
+                 realconfig trace <dir> --from DEV --dst A.B.C.D [--proto N] [--dport N] [--backend bdd|atoms]\n  \
+                 realconfig snapshot <dir> --state-dir DIR [--policy ...]... [--threads N] [--backend bdd|atoms]\n  \
+                 realconfig restore <dir> --state-dir DIR"
             );
             return ExitCode::from(2);
         }
@@ -90,6 +105,9 @@ enum ErrorKind {
     /// A pipeline stage failed internally (contained panic, poisoned
     /// verifier).
     Internal,
+    /// Durable state was unrecoverable; the verifier was rebuilt from
+    /// configurations and is running, but warm state was lost.
+    Degraded,
 }
 
 impl ErrorKind {
@@ -98,6 +116,7 @@ impl ErrorKind {
             ErrorKind::Parse => "parse",
             ErrorKind::Divergence => "divergence",
             ErrorKind::Internal => "internal",
+            ErrorKind::Degraded => "degraded",
         }
     }
 
@@ -106,6 +125,7 @@ impl ErrorKind {
             ErrorKind::Parse => 2,
             ErrorKind::Divergence => 3,
             ErrorKind::Internal => 4,
+            ErrorKind::Degraded => 5,
         }
     }
 }
@@ -230,15 +250,24 @@ fn register_policies(
     specs: &[PolicySpec],
 ) -> Result<Vec<(String, realconfig::PolicyId)>, CliError> {
     let mut out = Vec::new();
+    // A snapshot-restored verifier already carries its registered
+    // policies; re-requesting one of those must reuse the existing
+    // registration instead of duplicating it.
+    let existing: Vec<Policy> =
+        rc.policy_specs().into_iter().map(|(p, _)| p).collect();
     for (kind, src, dst, prefix, is_reach) in specs {
         let s = rc.node(src).ok_or_else(|| format!("unknown device {src:?}"))?;
         let d = rc.node(dst).ok_or_else(|| format!("unknown device {dst:?}"))?;
         let class = PacketClass::DstPrefix(*prefix);
-        let id = rc.add_policy(if *is_reach {
+        let policy = if *is_reach {
             Policy::Reachability { src: s, dst: d, class }
         } else {
             Policy::Isolation { src: s, dst: d, class }
-        });
+        };
+        let id = match existing.iter().position(|p| *p == policy) {
+            Some(i) => realconfig::PolicyId(i as u32),
+            None => rc.add_policy(policy),
+        };
         out.push((format!("{kind}:{src}:{dst}:{prefix}"), id));
     }
     rc.recheck_policies();
@@ -285,10 +314,40 @@ fn parse_metrics_path(args: &[String]) -> Result<Option<String>, CliError> {
     }
 }
 
-/// Write the verifier's telemetry snapshot as pretty JSON.
+/// Parse an optional `--state-dir <dir>` flag.
+fn parse_state_dir(args: &[String]) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == "--state-dir") {
+        Some(i) => {
+            let dir = args.get(i + 1).ok_or("--state-dir needs a directory")?;
+            Ok(Some(dir.clone()))
+        }
+        None => Ok(None),
+    }
+}
+
+/// One-line summary of a restore outcome for operators.
+fn describe_restore(report: &realconfig::RestoreReport) -> String {
+    let source = match report.source {
+        realconfig::RestoreSource::Snapshot { seq } => format!("snapshot {seq}"),
+        realconfig::RestoreSource::PreviousSnapshot { seq } => {
+            format!("previous snapshot {seq} (newest was corrupt)")
+        }
+        realconfig::RestoreSource::Rebuilt => "full rebuild (all snapshots corrupt)".into(),
+        realconfig::RestoreSource::ColdStart => "cold start (no snapshots)".into(),
+    };
+    format!(
+        "restored from {source} in {:?}: {} journal records replayed, {} discarded",
+        report.elapsed, report.replayed, report.discarded_corrupt
+    )
+}
+
+/// Write the verifier's telemetry snapshot as pretty JSON. Atomic
+/// (write-temp, fsync, rename): a crash or panic mid-dump never leaves
+/// a truncated file where a previous good snapshot used to be.
 fn dump_metrics(rc: &RealConfig, path: &str) -> Result<(), CliError> {
     let json = serde_json::to_string_pretty(&rc.metrics_snapshot())?;
-    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    rc_store::atomic_write(Path::new(path), json.as_bytes())
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
     Ok(())
 }
 
@@ -307,17 +366,47 @@ fn cmd_verify(args: &[String]) -> Result<bool, CliError> {
     let dir = args.first().ok_or("verify needs a config directory")?;
     apply_threads_flag(args)?;
     apply_backend_flag(args)?;
+    let state_dir = parse_state_dir(args)?;
     let configs = load_dir(dir)?;
     let n = configs.len();
-    let (mut rc, report) = RealConfig::new(configs)?;
-    println!("{n} devices verified.");
-    println!("  data plane generation : {:?} ({} FIB entries)", report.dp_gen, report.fib_entries);
-    println!("  model update          : {:?} ({} ECs, {} rules)", report.model_update, report.ecs, report.rules);
-    println!("  policy check          : {:?} ({} reachable pairs)", report.policy_check, report.pairs);
-    for w in &report.warnings {
-        println!("  warning: {w}");
-    }
+    let mut rc = match &state_dir {
+        Some(sd) => {
+            let (mut rc, restore) = RealConfig::open(Path::new(sd), configs.clone())?;
+            println!("{n} devices verified ({}).", describe_restore(&restore));
+            for note in &restore.notes {
+                println!("  restore note: {note}");
+            }
+            if rc.configs() != &configs {
+                // The directory moved on since the snapshot: verify the
+                // drift incrementally on top of the warm state.
+                let report = rc.apply_configs_or_rebuild(configs)?;
+                println!(
+                    "  configs drifted since snapshot: +{}/−{} lines verified in {:?}",
+                    report.lines_inserted,
+                    report.lines_deleted,
+                    report.total()
+                );
+            }
+            rc
+        }
+        None => {
+            let (rc, report) = RealConfig::new(configs)?;
+            println!("{n} devices verified.");
+            println!("  data plane generation : {:?} ({} FIB entries)", report.dp_gen, report.fib_entries);
+            println!("  model update          : {:?} ({} ECs, {} rules)", report.model_update, report.ecs, report.rules);
+            println!("  policy check          : {:?} ({} reachable pairs)", report.policy_check, report.pairs);
+            for w in &report.warnings {
+                println!("  warning: {w}");
+            }
+            rc
+        }
+    };
     let policies = register_policies(&mut rc, &parse_policies(args)?)?;
+    if state_dir.is_some() {
+        // Persist the post-policy state so the next start is warm.
+        let seq = rc.save_snapshot().map_err(|e| format!("cannot save snapshot: {e}"))?;
+        println!("  snapshot {seq} written to {}", state_dir.as_deref().unwrap_or("?"));
+    }
     let mut violated = false;
     for (name, id) in &policies {
         let ok = rc.is_satisfied(*id);
@@ -461,6 +550,57 @@ fn cmd_trace(args: &[String]) -> Result<bool, CliError> {
     Ok(trace.delivered_at.is_empty())
 }
 
+/// Build from configs and persist a snapshot — the explicit way to
+/// seed a state directory (e.g. from CI, before a maintenance window).
+fn cmd_snapshot(args: &[String]) -> Result<bool, CliError> {
+    let dir = args.first().ok_or("snapshot needs a config directory")?;
+    let state_dir =
+        parse_state_dir(args)?.ok_or("snapshot needs --state-dir DIR")?;
+    apply_threads_flag(args)?;
+    apply_backend_flag(args)?;
+    let configs = load_dir(dir)?;
+    let n = configs.len();
+    let (mut rc, _) = RealConfig::new(configs)?;
+    register_policies(&mut rc, &parse_policies(args)?)?;
+    rc.attach_state_dir(Path::new(&state_dir))
+        .map_err(|e| format!("cannot use state dir {state_dir}: {e}"))?;
+    let seq = rc.save_snapshot().map_err(|e| format!("cannot save snapshot: {e}"))?;
+    println!(
+        "{n} devices verified; snapshot {seq} written to {state_dir} ({} policies registered)",
+        rc.policy_specs().len()
+    );
+    Ok(false)
+}
+
+/// Exercise the recovery ladder and report which rung ran. Exit code 5
+/// signals "state was unrecoverable, verifier rebuilt from configs" —
+/// running, but the warm state was lost.
+fn cmd_restore(args: &[String]) -> Result<bool, CliError> {
+    let dir = args.first().ok_or("restore needs a config directory (rebuild fallback)")?;
+    let state_dir =
+        parse_state_dir(args)?.ok_or("restore needs --state-dir DIR")?;
+    let configs = load_dir(dir)?;
+    let (rc, report) = RealConfig::open(Path::new(&state_dir), configs)?;
+    println!("{}", describe_restore(&report));
+    for note in &report.notes {
+        println!("  note: {note}");
+    }
+    println!(
+        "  state: {} devices, {} FIB rules, {} ECs, {} policies",
+        rc.configs().len(),
+        rc.num_fib_rules(),
+        rc.num_ecs(),
+        rc.policy_specs().len()
+    );
+    if report.source == realconfig::RestoreSource::Rebuilt {
+        return Err(CliError {
+            kind: ErrorKind::Degraded,
+            msg: "durable state unrecoverable; rebuilt from configurations".into(),
+        });
+    }
+    Ok(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +610,7 @@ mod tests {
         assert_eq!(ErrorKind::Parse.exit_code(), 2);
         assert_eq!(ErrorKind::Divergence.exit_code(), 3);
         assert_eq!(ErrorKind::Internal.exit_code(), 4);
+        assert_eq!(ErrorKind::Degraded.exit_code(), 5);
     }
 
     #[test]

@@ -57,7 +57,8 @@ mod verifier;
 pub use report::{ChangeReport, FullReport};
 pub use trace::{HopAction, PacketTrace, TraceHop};
 pub use verifier::{
-    full_dataplane_baseline, full_dataplane_realconfig, Error, RealConfig, DEFAULT_AUTO_COMPACT,
+    full_dataplane_baseline, full_dataplane_realconfig, Error, RealConfig, RestoreReport,
+    RestoreSource, DEFAULT_AUTO_COMPACT,
 };
 
 // Packet type used by `RealConfig::trace_packet`.

@@ -19,6 +19,9 @@ use rc_routing::route::FibEntry;
 use crate::convert::{filter_rule, FibGrouper};
 use crate::report::{ChangeReport, FullReport};
 
+mod persist;
+pub use persist::{RestoreReport, RestoreSource};
+
 /// Verifier errors.
 ///
 /// # Failure model
@@ -124,6 +127,10 @@ pub struct RealConfig {
     /// applies are refused with [`Error::Poisoned`] until
     /// [`RealConfig::rebuild`] succeeds.
     poisoned: bool,
+    /// Durable warm state (state directory, snapshot sequence, apply
+    /// journal). `None` unless a state directory is attached — the
+    /// in-memory-only common case pays one `Option` check per apply.
+    store: Option<persist::StoreState>,
 }
 
 /// Extract a human-readable message from a contained panic payload.
@@ -181,6 +188,7 @@ impl RealConfig {
             changes_since_compact: 0,
             telemetry: rc_telemetry::Telemetry::new(),
             poisoned: false,
+            store: None,
         };
         rc.engine.set_telemetry(rc.telemetry.clone());
         rc.model.set_telemetry(&rc.telemetry);
@@ -416,10 +424,17 @@ impl RealConfig {
             }
         }
 
-        // Commit point: all three stages succeeded.
+        // Commit point: all three stages succeeded. The journal record
+        // is computed against the pre-commit configs, appended only
+        // after the in-memory commit — a crash between the two loses at
+        // most the change that was never reported as applied.
+        let journal_record = self.journal_record_for(&new_configs);
         self.configs = new_configs;
         self.facts = lowered.facts;
         self.warnings = new_warnings;
+        if let Some(record) = journal_record {
+            self.journal_append(record);
+        }
 
         report.metrics = self.telemetry.snapshot();
         Ok(report)
@@ -609,6 +624,7 @@ impl RealConfig {
         report.violated = check.newly_violated.iter().map(|p| p.0).collect();
 
         // Commit the rebuilt pipeline wholesale.
+        let configs_changed = self.configs != configs;
         self.engine = engine;
         self.model = model;
         self.checker = checker;
@@ -619,6 +635,12 @@ impl RealConfig {
         self.devices = devices;
         self.changes_since_compact = 0;
         self.poisoned = false;
+        if configs_changed {
+            // These configs never went through the journaled apply
+            // path; the on-disk journal no longer extends to the
+            // current state. Re-base persistence on a fresh snapshot.
+            self.rebase_journal_after_rebuild();
+        }
         self.telemetry.counter("verifier.rebuilds").incr();
         self.telemetry
             .histogram("verifier.rebuild_us")
@@ -630,6 +652,14 @@ impl RealConfig {
     /// Register a policy (by device ids; see [`RealConfig::node`]).
     pub fn add_policy(&mut self, policy: Policy) -> PolicyId {
         self.checker.add_policy(&mut self.model, policy)
+    }
+
+    /// Registered policies with their current verdicts, in id order
+    /// (`PolicyId(i)` is entry `i`). Lets callers that may hold a
+    /// snapshot-restored verifier discover what is already registered
+    /// instead of re-adding duplicates.
+    pub fn policy_specs(&self) -> Vec<(Policy, bool)> {
+        self.checker.policy_specs()
     }
 
     /// Convenience: "packets from `src` to `dst_prefix` must reach

@@ -1,0 +1,881 @@
+//! Durable warm state: checksummed snapshots, an append-only apply
+//! journal, and the crash-recovery ladder.
+//!
+//! # Snapshot format
+//!
+//! A snapshot is an [`rc_store`] section container (magic, version,
+//! per-section `tag + length + payload + CRC32`) holding five sections:
+//!
+//! | tag | section  | contents                                          |
+//! |-----|----------|---------------------------------------------------|
+//! | 1   | META     | update order, full-scan flag, auto-compact knob   |
+//! | 2   | REGISTRY | interned node / interface names, in id order      |
+//! | 3   | CONFIGS  | last-good configurations as canonical printed text|
+//! | 4   | MODEL    | [`ApkModel::encode_state`] (includes the predicate store) |
+//! | 5   | CHECKER  | [`PolicyChecker::encode_state`]                   |
+//!
+//! The registry is serialized by name *in id order* because interning
+//! is append-only and history-dependent: rebuilding it verbatim keeps
+//! every `NodeId` / `IfaceId` embedded in the model and checker
+//! sections valid.
+//!
+//! # Journal
+//!
+//! Each committed apply appends one checksummed record — the
+//! device-granularity config delta (upserted device texts + removed
+//! names) — to `journal.rcj`, which names the snapshot sequence it
+//! extends. Replay pushes each record through the normal incremental
+//! [`RealConfig::apply_configs`] path, so a restored verifier is the
+//! same machine as one that never crashed. If an append fails (disk
+//! full, fsync error), journaling is disabled until the next snapshot
+//! rather than leaving a gap: the durable state is always an exact
+//! prefix of the applied changes.
+//!
+//! # Recovery ladder
+//!
+//! [`RealConfig::open`] never refuses to start:
+//!
+//! 1. newest snapshot + journal replay (torn tails tolerated);
+//! 2. on any corruption, the previous retained snapshot;
+//! 3. on any corruption there too, a full rebuild from the caller's
+//!    fallback configurations.
+//!
+//! Which rung succeeded — and how many journal records were replayed
+//! or discarded — comes back in the [`RestoreReport`].
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rc_netcfg::facts::{lower, Fact, Registry};
+use rc_netcfg::parser::parse_config;
+use rc_netcfg::printer::print_config;
+use rc_netcfg::DeviceConfig;
+use rc_store::{
+    atomic_write, decode_snapshot, encode_snapshot, journal_path, list_snapshots,
+    prune_snapshots, read_journal, snapshot_path, Journal, Reader, StoreError, Writer,
+};
+
+use super::{Error, RealConfig};
+use rc_apkeep::{ApkModel, UpdateOrder};
+use rc_policy::PolicyChecker;
+use rc_routing::engine::RoutingEngine;
+
+/// Section tags inside a snapshot container.
+const SEC_META: u32 = 1;
+const SEC_REGISTRY: u32 = 2;
+const SEC_CONFIGS: u32 = 3;
+const SEC_MODEL: u32 = 4;
+const SEC_CHECKER: u32 = 5;
+
+/// How many snapshots to retain on disk. Two gives the recovery ladder
+/// its middle rung: if the newest snapshot is torn, the previous one is
+/// still there.
+const KEEP_SNAPSHOTS: usize = 2;
+
+/// Where a restored verifier's state came from (the rung of the
+/// recovery ladder that succeeded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestoreSource {
+    /// The newest snapshot decoded cleanly (journal replay may still
+    /// have discarded a torn tail — see
+    /// [`RestoreReport::discarded_corrupt`]).
+    Snapshot { seq: u64 },
+    /// The newest snapshot was corrupt; the previous retained snapshot
+    /// was used instead. Its journal (if any) belongs to the newer
+    /// snapshot and is not replayed.
+    PreviousSnapshot { seq: u64 },
+    /// Every snapshot was corrupt or unreadable; the verifier was
+    /// rebuilt in full from the fallback configurations. Degraded but
+    /// running.
+    Rebuilt,
+    /// The state directory held no snapshots at all (first boot).
+    ColdStart,
+}
+
+/// Outcome of [`RealConfig::open`]: which ladder rung produced the
+/// verifier and what the journal replay saw.
+#[derive(Clone, Debug)]
+pub struct RestoreReport {
+    /// The ladder rung that succeeded.
+    pub source: RestoreSource,
+    /// Journal records replayed through the incremental apply path.
+    pub replayed: usize,
+    /// Journal records (or whole artifacts) dropped as corrupt: torn
+    /// journal tails, records for a different snapshot, records whose
+    /// replay failed.
+    pub discarded_corrupt: usize,
+    /// Snapshots that failed to decode before one succeeded.
+    pub snapshots_rejected: usize,
+    /// Human-readable notes for each degradation encountered.
+    pub notes: Vec<String>,
+    /// Wall-clock time of the whole open, including any journal replay.
+    pub elapsed: std::time::Duration,
+}
+
+/// Per-verifier persistence handle: the state directory, the snapshot
+/// sequence the journal extends, and the journal itself (`None` when
+/// journaling is disabled — before the first snapshot, or after an
+/// append failure).
+#[derive(Debug)]
+pub(super) struct StoreState {
+    dir: PathBuf,
+    /// Sequence number of the newest snapshot written or restored.
+    seq: u64,
+    journal: Option<Journal>,
+    /// Records appended to the current journal (durable changes since
+    /// the last snapshot).
+    appended: u64,
+}
+
+/// Encode one journal record: the device-granularity config delta from
+/// `old` to `new` (changed/added devices as canonical printed text,
+/// removed devices by name).
+fn encode_delta(
+    old: &BTreeMap<String, DeviceConfig>,
+    new: &BTreeMap<String, DeviceConfig>,
+) -> Vec<u8> {
+    let upserts: Vec<(&String, String)> = new
+        .iter()
+        .filter(|(name, cfg)| old.get(*name) != Some(*cfg))
+        .map(|(name, cfg)| (name, print_config(cfg)))
+        .collect();
+    let removes: Vec<&String> =
+        old.keys().filter(|name| !new.contains_key(*name)).collect();
+    let mut w = Writer::new();
+    w.len_prefix(upserts.len());
+    for (name, text) in &upserts {
+        w.str(name);
+        w.str(text);
+    }
+    w.len_prefix(removes.len());
+    for name in &removes {
+        w.str(name);
+    }
+    w.finish()
+}
+
+/// A decoded journal record: (upserted configs, removed device names).
+type ConfigDelta = (Vec<(String, DeviceConfig)>, Vec<String>);
+
+/// Decode a journal record back into (upserted configs, removed names).
+/// Corrupt input — unparseable text, a hostname mismatch — is an error,
+/// never a half-applied delta.
+fn decode_delta(bytes: &[u8]) -> Result<ConfigDelta, String> {
+    let mut r = Reader::new(bytes);
+    let err = |e: rc_store::WireError| e.0;
+    let n = r.len_prefix().map_err(err)?;
+    let mut upserts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str().map_err(err)?.to_string();
+        let text = r.str().map_err(err)?;
+        let cfg = parse_config(text)
+            .map_err(|e| format!("journal config for {name:?} unparseable: {e}"))?;
+        if cfg.hostname != name {
+            return Err(format!(
+                "journal record hostname mismatch: key {name:?} vs config {:?}",
+                cfg.hostname
+            ));
+        }
+        upserts.push((name, cfg));
+    }
+    let n = r.len_prefix().map_err(err)?;
+    let mut removes = Vec::with_capacity(n);
+    for _ in 0..n {
+        removes.push(r.str().map_err(err)?.to_string());
+    }
+    r.done().map_err(err)?;
+    Ok((upserts, removes))
+}
+
+impl RealConfig {
+    /// Attach a state directory for durable warm state. Creates the
+    /// directory if missing. Journaling starts at the next
+    /// [`RealConfig::save_snapshot`] (a journal is only meaningful as
+    /// an extension of a snapshot).
+    pub fn attach_state_dir(&mut self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let seq = list_snapshots(dir)?.first().map(|(s, _)| *s).unwrap_or(0);
+        self.store =
+            Some(StoreState { dir: dir.to_path_buf(), seq, journal: None, appended: 0 });
+        Ok(())
+    }
+
+    /// The attached state directory, if any.
+    pub fn state_dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(|s| s.dir.as_path())
+    }
+
+    /// Sequence number of the newest snapshot written or restored
+    /// through this verifier (0 before any).
+    pub fn snapshot_seq(&self) -> u64 {
+        self.store.as_ref().map(|s| s.seq).unwrap_or(0)
+    }
+
+    /// Number of apply records made durable in the current journal
+    /// since the last snapshot.
+    pub fn journaled_changes(&self) -> u64 {
+        self.store.as_ref().map(|s| s.appended).unwrap_or(0)
+    }
+
+    /// Whether committed applies are currently being journaled (a state
+    /// directory is attached, a snapshot exists, and no append has
+    /// failed since).
+    pub fn journaling(&self) -> bool {
+        self.store.as_ref().is_some_and(|s| s.journal.is_some())
+    }
+
+    /// Serialize the full verifier state into snapshot sections.
+    fn encode_sections(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut meta = Writer::new();
+        meta.u8(match self.update_order {
+            UpdateOrder::InsertFirst => 0,
+            UpdateOrder::DeleteFirst => 1,
+            UpdateOrder::AsGiven => 2,
+        });
+        meta.u8(self.model_full_scan as u8);
+        match self.auto_compact {
+            Some(n) => {
+                meta.u8(1);
+                meta.u32(n);
+            }
+            None => meta.u8(0),
+        }
+
+        let mut reg = Writer::new();
+        let (node_names, iface_names) = self.registry.export_names();
+        reg.len_prefix(node_names.len());
+        for n in &node_names {
+            reg.str(n);
+        }
+        reg.len_prefix(iface_names.len());
+        for n in &iface_names {
+            reg.str(n);
+        }
+
+        let mut cfgs = Writer::new();
+        cfgs.len_prefix(self.configs.len());
+        for (name, cfg) in &self.configs {
+            cfgs.str(name);
+            cfgs.str(&print_config(cfg));
+        }
+
+        let mut model = Writer::new();
+        self.model.encode_state(&mut model);
+        let mut checker = Writer::new();
+        self.checker.encode_state(&mut checker);
+
+        vec![
+            (SEC_META, meta.finish()),
+            (SEC_REGISTRY, reg.finish()),
+            (SEC_CONFIGS, cfgs.finish()),
+            (SEC_MODEL, model.finish()),
+            (SEC_CHECKER, checker.finish()),
+        ]
+    }
+
+    /// Write a checksummed snapshot of the current state to the
+    /// attached state directory (atomically: write-temp, fsync, rename,
+    /// fsync dir), start a fresh journal extending it, and prune old
+    /// snapshots down to the retention count. Returns the new snapshot
+    /// sequence number.
+    pub fn save_snapshot(&mut self) -> Result<u64, StoreError> {
+        let (dir, seq) = match &self.store {
+            Some(s) => (s.dir.clone(), s.seq + 1),
+            None => {
+                return Err(StoreError::Corrupt(
+                    "no state directory attached (see attach_state_dir)".into(),
+                ))
+            }
+        };
+        let bytes = encode_snapshot(&self.encode_sections());
+        let snap_bytes = bytes.len() as i64;
+        atomic_write(&snapshot_path(&dir, seq), &bytes)?;
+
+        // The snapshot is durable from here: even if starting the new
+        // journal fails, restore finds `seq` intact (an old journal
+        // naming an older seq is rejected by the seq cross-check).
+        let journal = match Journal::create(&journal_path(&dir), seq) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                self.telemetry.counter("store.journal_open_failures").incr();
+                self.warnings.insert(format!(
+                    "persistence: journal create failed after snapshot {seq}: {e} \
+                     (journaling disabled until next snapshot)"
+                ));
+                None
+            }
+        };
+        if let Err(e) = prune_snapshots(&dir, KEEP_SNAPSHOTS) {
+            // Retention is best-effort; stale snapshots are harmless.
+            self.telemetry.counter("store.prune_failures").incr();
+            let _ = e;
+        }
+        if let Some(s) = self.store.as_mut() {
+            s.seq = seq;
+            s.journal = journal;
+            s.appended = 0;
+        }
+        self.telemetry.counter("store.snapshots_written").incr();
+        self.telemetry.gauge("store.snapshot_bytes").set(snap_bytes);
+        Ok(seq)
+    }
+
+    /// Compute the journal record for a transition the transaction is
+    /// about to commit. `None` when journaling is off — the common
+    /// (no persistence) case pays one `Option` check and nothing else.
+    pub(super) fn journal_record_for(
+        &self,
+        new_configs: &BTreeMap<String, DeviceConfig>,
+    ) -> Option<Vec<u8>> {
+        self.store
+            .as_ref()
+            .and_then(|s| s.journal.as_ref())
+            .map(|_| encode_delta(&self.configs, new_configs))
+    }
+
+    /// Append a committed change's record to the journal. On failure,
+    /// journaling is disabled until the next snapshot — the journal on
+    /// disk stays a checksummed exact prefix of the committed changes,
+    /// with no gaps.
+    pub(super) fn journal_append(&mut self, record: Vec<u8>) {
+        let Some(store) = self.store.as_mut() else { return };
+        let Some(journal) = store.journal.as_mut() else { return };
+        match journal.append(&record) {
+            Ok(()) => {
+                store.appended += 1;
+                self.telemetry.counter("store.journal_appends").incr();
+            }
+            Err(e) => {
+                store.journal = None;
+                self.telemetry.counter("store.journal_append_failures").incr();
+                self.warnings.insert(format!(
+                    "persistence: journal append failed: {e} \
+                     (journaling disabled until next snapshot)"
+                ));
+            }
+        }
+    }
+
+    /// After a wholesale rebuild committed configurations that never
+    /// went through the journaled incremental path, the journal no
+    /// longer extends to the current state. Re-base it on a fresh
+    /// snapshot (best-effort: on failure, journaling stays off until
+    /// the next explicit snapshot).
+    pub(super) fn rebase_journal_after_rebuild(&mut self) {
+        if self.store.is_none() {
+            return;
+        }
+        if let Some(s) = self.store.as_mut() {
+            // Whatever happens below, the old journal must not receive
+            // further appends — its base no longer matches.
+            s.journal = None;
+        }
+        if let Err(e) = self.save_snapshot() {
+            self.telemetry.counter("store.snapshot_failures").incr();
+            self.warnings.insert(format!(
+                "persistence: snapshot after rebuild failed: {e} \
+                 (journaling disabled until next snapshot)"
+            ));
+        }
+    }
+
+    /// Open a verifier from a state directory, walking the recovery
+    /// ladder: newest snapshot + journal replay → previous snapshot →
+    /// full rebuild from `fallback` configurations. Never refuses to
+    /// start over recoverable corruption — the report says which rung
+    /// ran and what was discarded. The only `Err` cases are the
+    /// fallback build itself failing (e.g. the fallback configurations
+    /// do not verify) or the state directory being uncreatable.
+    pub fn open(
+        state_dir: &Path,
+        fallback: BTreeMap<String, DeviceConfig>,
+    ) -> Result<(Self, RestoreReport), Error> {
+        let t0 = Instant::now();
+        let mut report = RestoreReport {
+            source: RestoreSource::ColdStart,
+            replayed: 0,
+            discarded_corrupt: 0,
+            snapshots_rejected: 0,
+            notes: Vec::new(),
+            elapsed: std::time::Duration::ZERO,
+        };
+
+        let snaps = match list_snapshots(state_dir) {
+            Ok(s) => s,
+            Err(e) => {
+                report.notes.push(format!("state dir unreadable: {e}"));
+                Vec::new()
+            }
+        };
+
+        for (rank, (seq, path)) in snaps.iter().take(KEEP_SNAPSHOTS).enumerate() {
+            let mut rc = match Self::restore_from_file(path) {
+                Ok(rc) => rc,
+                Err(e) => {
+                    report.snapshots_rejected += 1;
+                    report.notes.push(format!("snapshot {seq} rejected: {e}"));
+                    continue;
+                }
+            };
+            let mut journal_clean = false;
+            if rank == 0 {
+                journal_clean = rc.replay_journal(state_dir, *seq, &mut report);
+                report.source = RestoreSource::Snapshot { seq: *seq };
+            } else {
+                report.source = RestoreSource::PreviousSnapshot { seq: *seq };
+                report
+                    .notes
+                    .push("journal (if any) extends a newer snapshot; not replayed".into());
+            }
+
+            if let Err(e) = rc.attach_state_dir(state_dir) {
+                report.notes.push(format!("state dir re-attach failed: {e}"));
+            } else if journal_clean {
+                // The journal on disk is exactly the replayed records:
+                // keep extending it.
+                let j = Journal::attach(&journal_path(state_dir));
+                if let Some(s) = rc.store.as_mut() {
+                    s.seq = *seq;
+                    s.journal = Some(j);
+                    s.appended = report.replayed as u64;
+                }
+            } else {
+                // Torn tail, seq mismatch, or an older snapshot: the
+                // journal does not match the restored state. Re-base on
+                // a fresh snapshot.
+                rc.rebase_journal_after_rebuild();
+            }
+
+            rc.finish_restore(&mut report, t0);
+            return Ok((rc, report));
+        }
+
+        // Bottom rung: full rebuild from the fallback configurations.
+        if !snaps.is_empty() {
+            report.source = RestoreSource::Rebuilt;
+            report
+                .notes
+                .push("all snapshots rejected; rebuilt from fallback configs".into());
+        }
+        let (mut rc, _full) = Self::new(fallback)?;
+        if let Err(e) = rc.attach_state_dir(state_dir) {
+            report.notes.push(format!("state dir attach failed: {e}"));
+        } else {
+            rc.rebase_journal_after_rebuild();
+        }
+        rc.finish_restore(&mut report, t0);
+        Ok((rc, report))
+    }
+
+    /// Record restore telemetry on the (possibly restored) registry.
+    fn finish_restore(&mut self, report: &mut RestoreReport, t0: Instant) {
+        report.elapsed = t0.elapsed();
+        self.telemetry.counter("store.restores").incr();
+        if report.replayed > 0 {
+            self.telemetry
+                .counter("store.journal_replays")
+                .add(report.replayed as u64);
+        }
+        if report.discarded_corrupt > 0 {
+            self.telemetry
+                .counter("store.corrupt_records_skipped")
+                .add(report.discarded_corrupt as u64);
+        }
+        self.telemetry
+            .histogram("store.restore_us")
+            .record(report.elapsed.as_micros() as u64);
+    }
+
+    /// Decode one snapshot file into a fully wired verifier. Any
+    /// defect — bad CRC, truncation, cross-reference out of bounds,
+    /// facts that no longer lower — is an `Err`, never a verifier that
+    /// miscomputes.
+    fn restore_from_file(path: &Path) -> Result<Self, String> {
+        let bytes = rc_store::read_file(path).map_err(|e| e.to_string())?;
+        let sections = decode_snapshot(&bytes).map_err(|e| e.to_string())?;
+        let section = |tag: u32| -> Result<&[u8], String> {
+            sections
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, b)| b.as_slice())
+                .ok_or_else(|| format!("snapshot missing section {tag}"))
+        };
+        let werr = |e: rc_store::WireError| e.0;
+        let in_sec = |sec: &str| {
+            let sec = sec.to_string();
+            move |e: rc_store::WireError| format!("{sec}: {}", e.0)
+        };
+
+        // META.
+        let mut r = Reader::new(section(SEC_META)?);
+        let update_order = match r.u8().map_err(werr)? {
+            0 => UpdateOrder::InsertFirst,
+            1 => UpdateOrder::DeleteFirst,
+            2 => UpdateOrder::AsGiven,
+            t => return Err(format!("bad update-order tag {t}")),
+        };
+        let model_full_scan = r.u8().map_err(werr)? != 0;
+        let auto_compact = match r.u8().map_err(werr)? {
+            0 => None,
+            1 => Some(r.u32().map_err(werr)?),
+            t => return Err(format!("bad auto-compact tag {t}")),
+        };
+        r.done().map_err(werr)?;
+
+        // REGISTRY: names in id order, so every id in the model /
+        // checker sections resolves to the same name it had live.
+        let mut r = Reader::new(section(SEC_REGISTRY)?);
+        let n = r.len_prefix().map_err(werr)?;
+        let mut node_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_names.push(r.str().map_err(werr)?.to_string());
+        }
+        let n = r.len_prefix().map_err(werr)?;
+        let mut iface_names = Vec::with_capacity(n);
+        for _ in 0..n {
+            iface_names.push(r.str().map_err(werr)?.to_string());
+        }
+        r.done().map_err(werr)?;
+        let mut registry = Registry::from_names(node_names, iface_names)?;
+
+        // CONFIGS: canonical printed text, re-parsed.
+        let mut r = Reader::new(section(SEC_CONFIGS)?);
+        let n = r.len_prefix().map_err(werr)?;
+        let mut configs = BTreeMap::new();
+        for _ in 0..n {
+            let name = r.str().map_err(werr)?.to_string();
+            let text = r.str().map_err(werr)?;
+            let cfg = parse_config(text)
+                .map_err(|e| format!("snapshot config {name:?} unparseable: {e}"))?;
+            if cfg.hostname != name {
+                return Err(format!(
+                    "snapshot config hostname mismatch: key {name:?} vs {:?}",
+                    cfg.hostname
+                ));
+            }
+            if configs.insert(name, cfg).is_some() {
+                return Err("snapshot config duplicated".into());
+            }
+        }
+        r.done().map_err(werr)?;
+
+        // MODEL and CHECKER: handle-for-handle state restore.
+        let mut r = Reader::new(section(SEC_MODEL)?);
+        let mut model = ApkModel::decode_state(&mut r).map_err(in_sec("model"))?;
+        r.done().map_err(in_sec("model"))?;
+        let mut r = Reader::new(section(SEC_CHECKER)?);
+        let mut checker = PolicyChecker::decode_state(&mut r, model.pred_slots())
+            .map_err(in_sec("checker"))?;
+        r.done().map_err(in_sec("checker"))?;
+
+        // Re-derive everything that is cheaper to recompute than to
+        // store: lowering is deterministic and all names are already
+        // interned, so facts and warnings come back exactly as they
+        // were; the routing engine is rebuilt by replaying the full
+        // fact set (the paper's dp-gen stage, minus model and check).
+        let backend = model.backend();
+        let lowered = lower(&configs, &mut registry);
+        let warnings = lowered.warnings.iter().map(|w| w.to_string()).collect();
+
+        let telemetry = rc_telemetry::Telemetry::new();
+        let mut engine = RoutingEngine::new();
+        engine.set_telemetry(telemetry.clone());
+        engine
+            .apply(lowered.facts.iter().map(|f| (f.clone(), 1)))
+            .map_err(|e| format!("restored facts no longer evaluate: {e}"))?;
+
+        let mut devices = std::collections::BTreeSet::new();
+        for f in &lowered.facts {
+            if let Fact::Device(n) = f {
+                devices.insert(*n);
+            }
+        }
+
+        // Prime the FIB grouper with the engine's full FIB so the next
+        // incremental convert diffs against the right baseline, and
+        // cross-check the restored model against the rebuilt FIB: the
+        // rule count must line up or the snapshot and configs disagree.
+        let mut grouper = crate::convert::FibGrouper::default();
+        let updates = grouper.convert(engine.fib_delta());
+        let (fins, _frem) = engine.filter_delta();
+        let expected_rules =
+            updates.iter().filter(|u| u.is_insert()).count() + fins.len();
+        if model.num_rules() != expected_rules {
+            return Err(format!(
+                "snapshot model has {} rules but configs lower to {}",
+                model.num_rules(),
+                expected_rules
+            ));
+        }
+
+        model.set_telemetry(&telemetry);
+        model.set_full_scan(model_full_scan);
+        checker.set_telemetry(&telemetry);
+
+        Ok(RealConfig {
+            configs,
+            registry,
+            facts: lowered.facts,
+            warnings,
+            engine,
+            model,
+            checker,
+            grouper,
+            devices,
+            update_order,
+            model_full_scan,
+            backend,
+            threads: None,
+            auto_compact,
+            changes_since_compact: 0,
+            telemetry,
+            poisoned: false,
+            store: None,
+        })
+    }
+
+    /// Replay the journal (if it extends `snapshot_seq`) through the
+    /// incremental apply path. Returns whether the journal on disk is a
+    /// clean exact record of what was replayed (and may therefore keep
+    /// being appended to); any defect stops replay at the last good
+    /// record and counts the rest as discarded.
+    fn replay_journal(
+        &mut self,
+        dir: &Path,
+        snapshot_seq: u64,
+        report: &mut RestoreReport,
+    ) -> bool {
+        let path = journal_path(dir);
+        if !path.exists() {
+            report.notes.push("no journal found".into());
+            return false;
+        }
+        let jr = match read_journal(&path) {
+            Ok(jr) => jr,
+            Err(e) => {
+                report.discarded_corrupt += 1;
+                report.notes.push(format!("journal unreadable: {e}"));
+                return false;
+            }
+        };
+        if jr.snapshot_seq != snapshot_seq {
+            report.discarded_corrupt += jr.records.len().max(1);
+            report.notes.push(format!(
+                "journal extends snapshot {} but {} was restored; discarded",
+                jr.snapshot_seq, snapshot_seq
+            ));
+            return false;
+        }
+        let mut clean = true;
+        if jr.discarded > 0 {
+            report.discarded_corrupt += jr.discarded;
+            report.notes.push(format!("journal tail torn ({} discarded)", jr.discarded));
+            clean = false;
+        }
+        let total = jr.records.len();
+        for (i, record) in jr.records.into_iter().enumerate() {
+            let (upserts, removes) = match decode_delta(&record) {
+                Ok(d) => d,
+                Err(e) => {
+                    report.discarded_corrupt += total - i;
+                    report.notes.push(format!("journal record {i} corrupt: {e}"));
+                    return false;
+                }
+            };
+            let mut new_configs = self.configs.clone();
+            for (name, cfg) in upserts {
+                new_configs.insert(name, cfg);
+            }
+            for name in &removes {
+                new_configs.remove(name);
+            }
+            if let Err(e) = self.apply_configs(new_configs) {
+                // The record was durable but no longer applies (e.g. a
+                // bit-flip survived CRC — astronomically unlikely — or
+                // the apply genuinely fails). Heal and stop here.
+                report.discarded_corrupt += total - i;
+                report.notes.push(format!("journal record {i} failed to apply: {e}"));
+                if self.poisoned {
+                    let _ = self.rebuild();
+                }
+                return false;
+            }
+            report.replayed += 1;
+        }
+        clean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_netcfg::change::ChangeSet;
+    use rc_netcfg::{gen, topology};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rc-core-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn ring(n: u32) -> BTreeMap<String, DeviceConfig> {
+        gen::build_configs(&topology::ring(n), gen::ProtocolChoice::Ospf)
+    }
+
+    /// Restored verifier must be observably identical to the live one.
+    fn assert_same(live: &RealConfig, restored: &RealConfig) {
+        assert_eq!(live.configs(), restored.configs());
+        assert_eq!(live.facts(), restored.facts());
+        assert_eq!(live.fib(), restored.fib());
+        assert_eq!(live.num_rules(), restored.num_rules());
+        assert_eq!(live.num_ecs(), restored.num_ecs());
+        assert_eq!(live.num_pairs(), restored.num_pairs());
+        assert_eq!(live.checker.verdicts(), restored.checker.verdicts());
+        assert_eq!(
+            live.checker.policy_specs().len(),
+            restored.checker.policy_specs().len()
+        );
+    }
+
+    #[test]
+    fn open_on_empty_dir_is_a_cold_start() {
+        let dir = temp_dir("cold");
+        let (rc, report) = RealConfig::open(&dir, ring(4)).unwrap();
+        assert_eq!(report.source, RestoreSource::ColdStart);
+        assert_eq!(report.replayed, 0);
+        assert!(rc.journaling(), "cold start should leave a snapshot + journal");
+        assert_eq!(rc.snapshot_seq(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_restores_identically_and_replays_the_journal() {
+        let dir = temp_dir("roundtrip");
+        let (mut live, _) = RealConfig::new(ring(5)).unwrap();
+        let p = live
+            .require_reachability("r000", "r002", topology::host_prefix(2))
+            .unwrap();
+        live.recheck_policies();
+        live.attach_state_dir(&dir).unwrap();
+        live.save_snapshot().unwrap();
+
+        // Two journaled changes after the snapshot.
+        live.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+        let mut up = ChangeSet::new();
+        up.push(rc_netcfg::change::ChangeOp::EnableInterface {
+            device: "r001".into(),
+            iface: "eth1".into(),
+        });
+        live.apply_change(&up).unwrap();
+        assert_eq!(live.journaled_changes(), 2);
+
+        let (restored, report) = RealConfig::open(&dir, BTreeMap::new()).unwrap();
+        assert_eq!(report.source, RestoreSource::Snapshot { seq: 1 });
+        assert_eq!(report.replayed, 2);
+        assert_eq!(report.discarded_corrupt, 0);
+        assert_same(&live, &restored);
+        assert!(restored.is_satisfied(p));
+        assert!(restored.journaling());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_to_previous() {
+        let dir = temp_dir("ladder");
+        let (mut live, _) = RealConfig::new(ring(4)).unwrap();
+        live.attach_state_dir(&dir).unwrap();
+        live.save_snapshot().unwrap();
+        let twin_fib = live.fib();
+        live.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+        live.save_snapshot().unwrap();
+
+        // Flip a byte in the newest snapshot's body.
+        let newest = snapshot_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (restored, report) = RealConfig::open(&dir, BTreeMap::new()).unwrap();
+        assert_eq!(report.source, RestoreSource::PreviousSnapshot { seq: 1 });
+        assert_eq!(report.snapshots_rejected, 1);
+        assert_eq!(restored.fib(), twin_fib);
+        // Restore re-based on a fresh snapshot, so journaling is live.
+        assert!(restored.journaling());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn all_snapshots_corrupt_rebuilds_from_fallback() {
+        let dir = temp_dir("rebuilt");
+        let (mut live, _) = RealConfig::new(ring(4)).unwrap();
+        live.attach_state_dir(&dir).unwrap();
+        live.save_snapshot().unwrap();
+        live.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+        live.save_snapshot().unwrap();
+        for (_, path) in list_snapshots(&dir).unwrap() {
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+        }
+        let (restored, report) = RealConfig::open(&dir, ring(4)).unwrap();
+        assert_eq!(report.source, RestoreSource::Rebuilt);
+        assert_eq!(report.snapshots_rejected, 2);
+        let (twin, _) = RealConfig::new(ring(4)).unwrap();
+        assert_eq!(restored.fib(), twin.fib());
+        assert!(restored.journaling());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_discarded_and_rebased() {
+        let dir = temp_dir("torn-tail");
+        let (mut live, _) = RealConfig::new(ring(5)).unwrap();
+        live.attach_state_dir(&dir).unwrap();
+        live.save_snapshot().unwrap();
+        live.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+        live.apply_change(&ChangeSet::link_failure("r003", "eth1")).unwrap();
+
+        // Tear the last record: chop bytes off the journal tail.
+        let jpath = journal_path(&dir);
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 3]).unwrap();
+
+        // Twin: only the first (durable) change.
+        let (mut twin, _) = RealConfig::new(ring(5)).unwrap();
+        twin.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+
+        let (restored, report) = RealConfig::open(&dir, BTreeMap::new()).unwrap();
+        assert_eq!(report.source, RestoreSource::Snapshot { seq: 1 });
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.discarded_corrupt, 1);
+        assert_same(&twin, &restored);
+        // Journal no longer matches state: re-based on snapshot 2.
+        assert_eq!(restored.snapshot_seq(), 2);
+        assert!(restored.journaling());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_requires_an_attached_state_dir() {
+        let (mut rc, _) = RealConfig::new(ring(3)).unwrap();
+        assert!(rc.save_snapshot().is_err());
+        assert!(!rc.journaling());
+        assert_eq!(rc.journaled_changes(), 0);
+    }
+
+    #[test]
+    fn fault_free_runs_carry_no_store_metrics() {
+        let (mut rc, _) = RealConfig::new(ring(4)).unwrap();
+        rc.apply_change(&ChangeSet::link_failure("r001", "eth1")).unwrap();
+        let snap = rc.metrics_snapshot();
+        assert!(
+            !snap.counters.keys().any(|k| k.starts_with("store.")),
+            "no persistence in use, but store.* counters appeared"
+        );
+    }
+}

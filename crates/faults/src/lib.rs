@@ -55,18 +55,61 @@ pub enum FaultPoint {
     /// Entry of `PolicyChecker::check_incremental` (stage 3,
     /// incremental policy checking). Stages 1 and 2 have committed.
     PolicyCheck,
+    /// Inside `rc_store::atomic_write`: the destination is clobbered
+    /// with a prefix of the new bytes and the write errors — the torn
+    /// file a crashed *naive* writer would leave behind, which
+    /// recovery must detect by checksum and survive.
+    StoreTornWrite,
+    /// Inside `rc_store::Journal::append`: only a prefix of the record
+    /// reaches the file before the append errors, leaving a torn
+    /// journal tail (the expected artifact of a crash mid-append).
+    StorePartialAppend,
+    /// Inside `rc_store::read_file`: one bit of the buffer is flipped
+    /// after a successful read, modeling silent media corruption that
+    /// only a checksum can catch.
+    StoreBitFlipRead,
+    /// Inside the `rc_store` write paths: the fsync fails (full disk,
+    /// dying device) after the data was handed to the OS — the caller
+    /// must treat the write as not durable.
+    StoreFsyncFail,
 }
 
 impl FaultPoint {
-    /// All instrumented points, pipeline order.
-    pub const ALL: [FaultPoint; 3] =
+    /// All instrumented points: the three pipeline stage boundaries in
+    /// pipeline order, then the persistence I/O points.
+    pub const ALL: [FaultPoint; 7] = [
+        FaultPoint::EngineApply,
+        FaultPoint::ApkBatch,
+        FaultPoint::PolicyCheck,
+        FaultPoint::StoreTornWrite,
+        FaultPoint::StorePartialAppend,
+        FaultPoint::StoreBitFlipRead,
+        FaultPoint::StoreFsyncFail,
+    ];
+
+    /// The pipeline stage boundaries only (the points the in-memory
+    /// chaos suites rotate through).
+    pub const PIPELINE: [FaultPoint; 3] =
         [FaultPoint::EngineApply, FaultPoint::ApkBatch, FaultPoint::PolicyCheck];
+
+    /// The persistence I/O points only (the points the crash-recovery
+    /// chaos suites rotate through).
+    pub const STORE: [FaultPoint; 4] = [
+        FaultPoint::StoreTornWrite,
+        FaultPoint::StorePartialAppend,
+        FaultPoint::StoreBitFlipRead,
+        FaultPoint::StoreFsyncFail,
+    ];
 
     fn index(self) -> usize {
         match self {
             FaultPoint::EngineApply => 0,
             FaultPoint::ApkBatch => 1,
             FaultPoint::PolicyCheck => 2,
+            FaultPoint::StoreTornWrite => 3,
+            FaultPoint::StorePartialAppend => 4,
+            FaultPoint::StoreBitFlipRead => 5,
+            FaultPoint::StoreFsyncFail => 6,
         }
     }
 }
@@ -77,6 +120,10 @@ impl fmt::Display for FaultPoint {
             FaultPoint::EngineApply => write!(f, "engine apply (stage 1)"),
             FaultPoint::ApkBatch => write!(f, "apkeep batch (stage 2)"),
             FaultPoint::PolicyCheck => write!(f, "policy check (stage 3)"),
+            FaultPoint::StoreTornWrite => write!(f, "store torn write"),
+            FaultPoint::StorePartialAppend => write!(f, "store partial journal append"),
+            FaultPoint::StoreBitFlipRead => write!(f, "store bit flip on read"),
+            FaultPoint::StoreFsyncFail => write!(f, "store fsync failure"),
         }
     }
 }
@@ -162,7 +209,7 @@ impl Drop for FaultGuard {
 
 struct Active {
     plan: FaultPlan,
-    hits: [u64; 3],
+    hits: [u64; FaultPoint::ALL.len()],
     injected: u64,
 }
 
@@ -173,7 +220,10 @@ thread_local! {
 /// Install `plan` on the current thread (see [`FaultPlan::install`] for
 /// the RAII variant). Resets hit and injection counters.
 pub fn install(plan: FaultPlan) {
-    ACTIVE.with(|a| *a.borrow_mut() = Some(Active { plan, hits: [0; 3], injected: 0 }));
+    ACTIVE.with(|a| {
+        *a.borrow_mut() =
+            Some(Active { plan, hits: [0; FaultPoint::ALL.len()], injected: 0 })
+    });
 }
 
 /// Remove the current thread's fault plan, if any.

@@ -192,6 +192,41 @@ impl Registry {
     pub fn num_nodes(&self) -> usize {
         self.node_names.len()
     }
+
+    /// Export the interning history — every device and interface name
+    /// in id order. Interning is append-only and history-dependent, so
+    /// a durable snapshot must carry these lists verbatim: every
+    /// `NodeId`/`IfaceId` embedded in serialized model and checker
+    /// state indexes into exactly this assignment.
+    pub fn export_names(&self) -> (Vec<String>, Vec<String>) {
+        (self.node_names.clone(), self.iface_names.clone())
+    }
+
+    /// Rebuild a registry from [`Registry::export_names`] output,
+    /// reproducing the identical name→id assignment. Duplicate names
+    /// in either list are rejected (they cannot arise from a real
+    /// interning history and would silently alias ids).
+    pub fn from_names(
+        node_names: Vec<String>,
+        iface_names: Vec<String>,
+    ) -> Result<Self, String> {
+        let mut reg = Registry::new();
+        for name in &node_names {
+            reg.nodes.insert(name.clone(), NodeId(reg.node_names.len() as u32));
+            reg.node_names.push(name.clone());
+        }
+        for name in &iface_names {
+            reg.ifaces.insert(name.clone(), IfaceId(reg.iface_names.len() as u32));
+            reg.iface_names.push(name.clone());
+        }
+        if reg.nodes.len() != reg.node_names.len() {
+            return Err("duplicate device name in registry snapshot".into());
+        }
+        if reg.ifaces.len() != reg.iface_names.len() {
+            return Err("duplicate interface name in registry snapshot".into());
+        }
+        Ok(reg)
+    }
 }
 
 /// The result of lowering a configuration set.

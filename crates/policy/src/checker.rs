@@ -606,3 +606,355 @@ impl PolicyChecker {
             .is_some_and(|d| d.contains(&dst))
     }
 }
+
+// ---------------------------------------------------------------------
+// Durable-state serialization.
+//
+// The checker's state is EC-keyed analysis plus registered policies;
+// its predicate handles point into the model's predicate store, which
+// the snapshot carries wholesale with arena indices preserved — so
+// handles serialize as raw indices and stay valid after restore.
+
+fn wire_err<T>(msg: impl Into<String>) -> Result<T, rc_store::WireError> {
+    Err(rc_store::WireError(msg.into()))
+}
+
+fn encode_node(w: &mut rc_store::Writer, n: NodeId) {
+    w.u32(n.0);
+}
+
+fn decode_node(r: &mut rc_store::Reader<'_>) -> Result<NodeId, rc_store::WireError> {
+    Ok(NodeId(r.u32()?))
+}
+
+fn encode_port(w: &mut rc_store::Writer, p: Port) {
+    w.u32(p.node.0);
+    w.u32(p.iface.0);
+}
+
+fn decode_port(r: &mut rc_store::Reader<'_>) -> Result<Port, rc_store::WireError> {
+    let node = NodeId(r.u32()?);
+    let iface = rc_netcfg::types::IfaceId(r.u32()?);
+    Ok(Port { node, iface })
+}
+
+fn encode_node_set(w: &mut rc_store::Writer, s: &BTreeSet<NodeId>) {
+    w.len_prefix(s.len());
+    for &n in s {
+        encode_node(w, n);
+    }
+}
+
+fn decode_node_set(
+    r: &mut rc_store::Reader<'_>,
+) -> Result<BTreeSet<NodeId>, rc_store::WireError> {
+    let n = r.len_prefix()?;
+    let mut out = BTreeSet::new();
+    for _ in 0..n {
+        out.insert(decode_node(r)?);
+    }
+    Ok(out)
+}
+
+fn encode_node_set_map(w: &mut rc_store::Writer, m: &BTreeMap<NodeId, BTreeSet<NodeId>>) {
+    w.len_prefix(m.len());
+    for (&k, v) in m {
+        encode_node(w, k);
+        encode_node_set(w, v);
+    }
+}
+
+fn decode_node_set_map(
+    r: &mut rc_store::Reader<'_>,
+) -> Result<BTreeMap<NodeId, BTreeSet<NodeId>>, rc_store::WireError> {
+    let n = r.len_prefix()?;
+    let mut out = BTreeMap::new();
+    for _ in 0..n {
+        let k = decode_node(r)?;
+        out.insert(k, decode_node_set(r)?);
+    }
+    Ok(out)
+}
+
+fn encode_prefix(w: &mut rc_store::Writer, p: Prefix) {
+    w.u32(p.addr().0);
+    w.u8(p.len());
+}
+
+fn decode_prefix(r: &mut rc_store::Reader<'_>) -> Result<Prefix, rc_store::WireError> {
+    let addr = r.u32()?;
+    let len = r.u8()?;
+    if len > 32 {
+        return wire_err(format!("prefix length {len} > 32"));
+    }
+    Ok(Prefix::new(rc_netcfg::types::Ip(addr), len))
+}
+
+fn encode_class(w: &mut rc_store::Writer, c: &PacketClass) {
+    match c {
+        PacketClass::All => w.u8(0),
+        PacketClass::DstPrefix(p) => {
+            w.u8(1);
+            encode_prefix(w, *p);
+        }
+        PacketClass::Flow { proto, dst_prefix, dst_port } => {
+            w.u8(2);
+            match proto {
+                Some(p) => {
+                    w.u8(1);
+                    w.u8(*p);
+                }
+                None => w.u8(0),
+            }
+            match dst_prefix {
+                Some(p) => {
+                    w.u8(1);
+                    encode_prefix(w, *p);
+                }
+                None => w.u8(0),
+            }
+            match dst_port {
+                Some(p) => {
+                    w.u8(1);
+                    w.u16(*p);
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+}
+
+fn decode_class(r: &mut rc_store::Reader<'_>) -> Result<PacketClass, rc_store::WireError> {
+    match r.u8()? {
+        0 => Ok(PacketClass::All),
+        1 => Ok(PacketClass::DstPrefix(decode_prefix(r)?)),
+        2 => {
+            let proto = match r.u8()? {
+                0 => None,
+                1 => Some(r.u8()?),
+                t => return wire_err(format!("bad proto option tag {t}")),
+            };
+            let dst_prefix = match r.u8()? {
+                0 => None,
+                1 => Some(decode_prefix(r)?),
+                t => return wire_err(format!("bad dst_prefix option tag {t}")),
+            };
+            let dst_port = match r.u8()? {
+                0 => None,
+                1 => Some(r.u16()?),
+                t => return wire_err(format!("bad dst_port option tag {t}")),
+            };
+            Ok(PacketClass::Flow { proto, dst_prefix, dst_port })
+        }
+        t => wire_err(format!("unknown packet class tag {t}")),
+    }
+}
+
+fn encode_policy(w: &mut rc_store::Writer, p: &Policy) {
+    match p {
+        Policy::Reachability { src, dst, class } => {
+            w.u8(0);
+            encode_node(w, *src);
+            encode_node(w, *dst);
+            encode_class(w, class);
+        }
+        Policy::Isolation { src, dst, class } => {
+            w.u8(1);
+            encode_node(w, *src);
+            encode_node(w, *dst);
+            encode_class(w, class);
+        }
+        Policy::Waypoint { src, dst, via, class } => {
+            w.u8(2);
+            encode_node(w, *src);
+            encode_node(w, *dst);
+            encode_node(w, *via);
+            encode_class(w, class);
+        }
+        Policy::LoopFree { class } => {
+            w.u8(3);
+            encode_class(w, class);
+        }
+        Policy::BlackholeFree { src, class } => {
+            w.u8(4);
+            encode_node(w, *src);
+            encode_class(w, class);
+        }
+    }
+}
+
+fn decode_policy(r: &mut rc_store::Reader<'_>) -> Result<Policy, rc_store::WireError> {
+    match r.u8()? {
+        0 => {
+            let (src, dst) = (decode_node(r)?, decode_node(r)?);
+            Ok(Policy::Reachability { src, dst, class: decode_class(r)? })
+        }
+        1 => {
+            let (src, dst) = (decode_node(r)?, decode_node(r)?);
+            Ok(Policy::Isolation { src, dst, class: decode_class(r)? })
+        }
+        2 => {
+            let (src, dst, via) = (decode_node(r)?, decode_node(r)?, decode_node(r)?);
+            Ok(Policy::Waypoint { src, dst, via, class: decode_class(r)? })
+        }
+        3 => Ok(Policy::LoopFree { class: decode_class(r)? }),
+        4 => {
+            let src = decode_node(r)?;
+            Ok(Policy::BlackholeFree { src, class: decode_class(r)? })
+        }
+        t => wire_err(format!("unknown policy tag {t}")),
+    }
+}
+
+fn encode_analysis(w: &mut rc_store::Writer, a: &EcAnalysis) {
+    encode_node_set_map(w, &a.delivered);
+    encode_node_set_map(w, &a.dropped);
+    encode_node_set_map(w, &a.denied);
+    encode_node_set(w, &a.looping);
+    w.len_prefix(a.ports_used.len());
+    for &p in &a.ports_used {
+        encode_port(w, p);
+    }
+    w.len_prefix(a.path_sig.len());
+    for (&n, &sig) in &a.path_sig {
+        encode_node(w, n);
+        w.u64(sig);
+    }
+}
+
+fn decode_analysis(r: &mut rc_store::Reader<'_>) -> Result<EcAnalysis, rc_store::WireError> {
+    let delivered = decode_node_set_map(r)?;
+    let dropped = decode_node_set_map(r)?;
+    let denied = decode_node_set_map(r)?;
+    let looping = decode_node_set(r)?;
+    let mut ports_used = BTreeSet::new();
+    for _ in 0..r.len_prefix()? {
+        ports_used.insert(decode_port(r)?);
+    }
+    let mut path_sig = BTreeMap::new();
+    for _ in 0..r.len_prefix()? {
+        let n = decode_node(r)?;
+        path_sig.insert(n, r.u64()?);
+    }
+    Ok(EcAnalysis { delivered, dropped, denied, looping, ports_used, path_sig })
+}
+
+impl PolicyChecker {
+    /// Serialize the full checker state — topology view, per-EC
+    /// analysis, reachability indexes, and registered policies with
+    /// their verdicts — for a durable snapshot.
+    pub fn encode_state(&self, w: &mut rc_store::Writer) {
+        encode_node_set(w, &self.nodes);
+        w.len_prefix(self.topo.len());
+        for (&a, &b) in &self.topo {
+            encode_port(w, a);
+            encode_port(w, b);
+        }
+        let mut ecs: Vec<_> = self.ec_state.iter().collect();
+        ecs.sort_by_key(|(ec, _)| **ec);
+        w.len_prefix(ecs.len());
+        for (&ec, analysis) in ecs {
+            w.u32(ec.0);
+            encode_analysis(w, analysis);
+        }
+        w.len_prefix(self.pair_ecs.len());
+        for (&(a, b), ecs) in &self.pair_ecs {
+            encode_node(w, a);
+            encode_node(w, b);
+            w.len_prefix(ecs.len());
+            for &ec in ecs {
+                w.u32(ec.0);
+            }
+        }
+        w.len_prefix(self.port_users.len());
+        let mut users: Vec<_> = self.port_users.iter().collect();
+        users.sort_by_key(|(p, _)| **p);
+        for (&port, ecs) in users {
+            encode_port(w, port);
+            w.len_prefix(ecs.len());
+            for &ec in ecs {
+                w.u32(ec.0);
+            }
+        }
+        w.len_prefix(self.policies.len());
+        for reg in &self.policies {
+            encode_policy(w, &reg.policy);
+            w.u32(reg.pred.index());
+            w.u8(reg.satisfied as u8);
+        }
+        w.u64(self.fresh_full_passes);
+    }
+
+    /// Rebuild a checker from [`PolicyChecker::encode_state`] bytes.
+    /// `pred_slots` is the size of the restored predicate store the
+    /// policy handles point into, used to bounds-check every handle.
+    /// Telemetry and the worker-count override are not restored; the
+    /// caller re-attaches them.
+    pub fn decode_state(
+        r: &mut rc_store::Reader<'_>,
+        pred_slots: u32,
+    ) -> Result<PolicyChecker, rc_store::WireError> {
+        let nodes = decode_node_set(r)?;
+        let mut topo = BTreeMap::new();
+        for _ in 0..r.len_prefix()? {
+            let a = decode_port(r)?;
+            let b = decode_port(r)?;
+            topo.insert(a, b);
+        }
+        let mut ec_state = HashMap::new();
+        for _ in 0..r.len_prefix()? {
+            let ec = EcId(r.u32()?);
+            let analysis = decode_analysis(r)?;
+            if ec_state.insert(ec, analysis).is_some() {
+                return wire_err(format!("duplicate EC {} in checker state", ec.0));
+            }
+        }
+        let mut pair_ecs = BTreeMap::new();
+        for _ in 0..r.len_prefix()? {
+            let a = decode_node(r)?;
+            let b = decode_node(r)?;
+            let mut ecs = BTreeSet::new();
+            for _ in 0..r.len_prefix()? {
+                ecs.insert(EcId(r.u32()?));
+            }
+            pair_ecs.insert((a, b), ecs);
+        }
+        let mut port_users = HashMap::new();
+        for _ in 0..r.len_prefix()? {
+            let port = decode_port(r)?;
+            let mut ecs = BTreeSet::new();
+            for _ in 0..r.len_prefix()? {
+                ecs.insert(EcId(r.u32()?));
+            }
+            if port_users.insert(port, ecs).is_some() {
+                return wire_err("duplicate port in port_users");
+            }
+        }
+        let mut policies = Vec::new();
+        for i in 0..r.len_prefix()? {
+            let policy = decode_policy(r)?;
+            let pred = r.u32()?;
+            if pred >= pred_slots {
+                return wire_err(format!("policy {i} has invalid predicate handle {pred}"));
+            }
+            let satisfied = match r.u8()? {
+                0 => false,
+                1 => true,
+                t => return wire_err(format!("bad verdict tag {t}")),
+            };
+            policies.push(Registered { policy, pred: Ref::from_index(pred), satisfied });
+        }
+        let fresh_full_passes = r.u64()?;
+        Ok(PolicyChecker {
+            nodes,
+            topo,
+            ec_state,
+            pair_ecs,
+            port_users,
+            policies,
+            threads: None,
+            fresh_full_passes,
+            telemetry: None,
+        })
+    }
+}

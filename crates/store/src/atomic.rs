@@ -1,0 +1,139 @@
+//! Crash-safe whole-file writes.
+
+use rc_faults::FaultPoint;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers targeting the same destination
+/// (the temp name also carries the pid, so two *processes* cannot
+/// collide either).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn injected(what: &str) -> io::Error {
+    io::Error::other(format!("{} {what}", rc_faults::INJECTED_PANIC_PREFIX))
+}
+
+/// Write `bytes` to `path` atomically: the data goes to a temp file in
+/// the same directory, is fsynced, then renamed over the destination,
+/// and finally the directory itself is fsynced so the rename is
+/// durable. A reader (or a post-crash restart) therefore sees either
+/// the complete old file or the complete new file under `path` — never
+/// a prefix.
+///
+/// Instrumented with two [`rc_faults`] points so crash tests can
+/// exercise the failure surface deterministically:
+///
+/// - [`FaultPoint::StoreTornWrite`] models the one case the protocol
+///   exists to prevent — a non-atomic writer dying mid-write. It
+///   clobbers the *destination* with a prefix of `bytes` and errors,
+///   so recovery code can prove it survives a torn file under the
+///   final name.
+/// - [`FaultPoint::StoreFsyncFail`] models the fsync itself failing
+///   (full disk, dying media): the temp file is discarded and the
+///   destination is left untouched.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if rc_faults::fire(FaultPoint::StoreTornWrite) {
+        let torn = &bytes[..bytes.len() / 2];
+        // Best-effort clobber: the point is to leave a detectably
+        // broken artifact behind, mirroring a crashed naive writer.
+        let _ = fs::write(path, torn);
+        return Err(injected("torn write to"));
+    }
+
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::other(format!("atomic_write: {} has no file name", path.display())))?
+        .to_string_lossy()
+        .into_owned();
+    let parent = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let tmp_name = format!(".{file_name}.tmp.{}.{seq}", std::process::id());
+    let tmp = match parent {
+        Some(dir) => dir.join(&tmp_name),
+        None => Path::new(&tmp_name).to_path_buf(),
+    };
+
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if rc_faults::fire(FaultPoint::StoreFsyncFail) {
+            return Err(injected("fsync failure while writing"));
+        }
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        if let Some(dir) = parent {
+            // Make the rename itself durable. Directories cannot be
+            // opened for write on all platforms; read access suffices
+            // for fsync on the ones we target.
+            OpenOptions::new().read(true).open(dir)?.sync_all()?;
+        }
+        Ok(())
+    })();
+
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rc_faults::FaultPlan;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("rc-store-atomic-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_land_complete_and_replace_prior_content() {
+        let dir = temp_dir("basic");
+        let path = dir.join("data.bin");
+        atomic_write(&path, b"first version").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first version");
+        atomic_write(&path, b"second, longer version").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer version");
+        // No temp litter left behind.
+        let extras: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n != "data.bin")
+            .collect();
+        assert!(extras.is_empty(), "leftover temp files: {extras:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_a_detectable_prefix() {
+        let dir = temp_dir("torn");
+        let path = dir.join("data.bin");
+        atomic_write(&path, b"good old state").unwrap();
+        let _g = FaultPlan::new().error_on(FaultPoint::StoreTornWrite, 1).install();
+        let err = atomic_write(&path, b"new state that tears").unwrap_err();
+        assert!(err.to_string().contains("torn write"));
+        // The destination was clobbered with a prefix — exactly the
+        // hazard recovery must survive.
+        assert_eq!(fs::read(&path).unwrap(), b"new state "[..].to_vec());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_failure_preserves_the_old_file() {
+        let dir = temp_dir("fsync");
+        let path = dir.join("data.bin");
+        atomic_write(&path, b"durable").unwrap();
+        let _g = FaultPlan::new().error_on(FaultPoint::StoreFsyncFail, 1).install();
+        assert!(atomic_write(&path, b"never lands").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"durable");
+        // The temp file was cleaned up.
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,239 @@
+//! A minimal little-endian wire format: length-prefixed bytes and
+//! fixed-width integers, with a bounds-checked reader.
+//!
+//! Every decode error is a value ([`WireError`]), never a panic or an
+//! out-of-bounds slice — corrupt input must be survivable, because the
+//! recovery ladder treats "failed to decode" as "try the next rung",
+//! not "refuse to start".
+
+use std::fmt;
+
+/// Append-only encoder. All integers are little-endian; variable-size
+/// payloads are `u64` length-prefixed.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64` (the on-disk width is fixed so a
+    /// 32-bit reader agrees with a 64-bit writer).
+    pub fn len_prefix(&mut self, n: usize) {
+        self.u64(n as u64);
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.len_prefix(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Append raw bytes with no length prefix (for fixed-layout
+    /// trailers the reader knows how to find).
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Consume the writer, yielding the encoded buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A decode failure: truncated input, an impossible length, or invalid
+/// UTF-8 where a string was promised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// Bounds-checked decoder over a byte slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if n > self.remaining() {
+            return err(format!("need {n} bytes, {} remain", self.remaining()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Take one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.raw(1)?[0])
+    }
+
+    /// Take a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.raw(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Take a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.raw(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Take a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.raw(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Take a `u64` length prefix, validated against the bytes that
+    /// actually remain (an absurd length from corrupt input must not
+    /// drive an allocation or a panic).
+    pub fn len_prefix(&mut self) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return err(format!("length prefix {n} exceeds {} remaining bytes", self.remaining()));
+        }
+        Ok(n as usize)
+    }
+
+    /// Take a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.len_prefix()?;
+        self.raw(n)
+    }
+
+    /// Take a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, WireError> {
+        let b = self.bytes()?;
+        match std::str::from_utf8(b) {
+            Ok(s) => Ok(s),
+            Err(_) => err("invalid utf-8 in string"),
+        }
+    }
+
+    /// Assert the input was fully consumed (trailing garbage after a
+    /// decoded payload means the payload is not what it claims).
+    pub fn done(&self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return err(format!("{} trailing bytes after payload", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(0xBEEF);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 1);
+        w.bytes(b"abc");
+        w.str("héllo");
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 0xBEEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.bytes().unwrap(), b"abc");
+        assert_eq!(r.str().unwrap(), "héllo");
+        r.done().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..5]);
+        assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // claims ~18EB follow
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf);
+        r.u8().unwrap();
+        assert!(r.done().is_err());
+    }
+}

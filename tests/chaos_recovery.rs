@@ -17,7 +17,7 @@ use realconfig::{PolicyId, RealConfig};
 /// One-shot fault plan for chaos round `round`, rotating through the
 /// three stage boundaries and both failure modes.
 fn rotating_fault(round: usize) -> FaultGuard {
-    let point = FaultPoint::ALL[round % FaultPoint::ALL.len()];
+    let point = FaultPoint::PIPELINE[round % FaultPoint::PIPELINE.len()];
     let plan = FaultPlan::new();
     // Stage 1 has an error channel; stages 2 and 3 only fail by panic.
     let plan = if point == FaultPoint::EngineApply && round.is_multiple_of(2) {
@@ -142,7 +142,7 @@ proptest! {
         let configs = build_configs(&ring(5), ProtocolChoice::Ospf);
         let (mut rc, _) = RealConfig::new(configs).expect("ring verifies");
         let policies = standing_policies(&mut rc);
-        let point = FaultPoint::ALL[point];
+        let point = FaultPoint::PIPELINE[point];
 
         for (i, cmd) in cmds.iter().enumerate() {
             let Some(cs) = to_changeset(cmd, &rc) else { continue };

@@ -1,0 +1,197 @@
+//! Snapshot round-trip soundness: a verifier restored from its own
+//! durable state must be indistinguishable from the live verifier that
+//! wrote it — same configurations, FIB, model shape, policy verdicts —
+//! and must keep verifying identically afterwards. Exercised across
+//! both predicate backends and, property-style, across arbitrary churn
+//! prefixes split between the snapshot and the journal.
+
+mod common;
+
+use common::{to_changeset, Cmd};
+use proptest::prelude::*;
+use rc_netcfg::gen::{build_configs, ProtocolChoice};
+use rc_netcfg::topology::{host_prefix, ring};
+use realconfig::{PredKind, RealConfig, RestoreSource, UpdateOrder};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Unique-per-use scratch state directory, removed on drop.
+struct StateDir(PathBuf);
+
+impl StateDir {
+    fn new(tag: &str) -> Self {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rc-roundtrip-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StateDir(dir)
+    }
+}
+
+impl Drop for StateDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The standing policies every verifier in this suite registers, in
+/// the same deterministic order.
+fn standing_policies(rc: &mut RealConfig) {
+    let names: Vec<String> = rc.configs().keys().cloned().collect();
+    for (i, s) in names.iter().take(3).enumerate() {
+        let di = names.len() - 1 - i;
+        let d = names[di].clone();
+        rc.require_reachability(s, &d, host_prefix(di as u32));
+    }
+    rc.recheck_policies();
+}
+
+/// Everything observable through the public API must match.
+fn assert_equivalent(live: &RealConfig, restored: &RealConfig, ctx: &str) {
+    assert_eq!(live.configs(), restored.configs(), "{ctx}: configs diverged");
+    assert_eq!(live.fib(), restored.fib(), "{ctx}: FIB diverged");
+    assert_eq!(live.warnings(), restored.warnings(), "{ctx}: warnings diverged");
+    assert_eq!(live.num_fib_rules(), restored.num_fib_rules(), "{ctx}: rule count diverged");
+    assert_eq!(live.num_ecs(), restored.num_ecs(), "{ctx}: EC count diverged");
+    assert_eq!(live.num_pairs(), restored.num_pairs(), "{ctx}: pair count diverged");
+    assert_eq!(live.policy_specs(), restored.policy_specs(), "{ctx}: verdicts diverged");
+    assert_eq!(live.backend(), restored.backend(), "{ctx}: backend diverged");
+}
+
+/// Snapshot → restore → continue verifying, on one backend.
+fn roundtrip_on(backend: PredKind) {
+    let configs = build_configs(&ring(6), ProtocolChoice::Ospf);
+    let (mut live, _) =
+        RealConfig::with_order_backend(configs.clone(), UpdateOrder::InsertFirst, backend)
+            .expect("ring verifies");
+    standing_policies(&mut live);
+
+    let dir = StateDir::new(&format!("{backend:?}"));
+    live.attach_state_dir(&dir.0).expect("state dir creatable");
+    live.save_snapshot().expect("snapshot writes");
+
+    let (mut restored, report) =
+        RealConfig::open(&dir.0, configs).expect("restore never refuses to start");
+    assert!(
+        matches!(report.source, RestoreSource::Snapshot { .. }),
+        "expected a snapshot restore, got {:?} (notes: {:?})",
+        report.source,
+        report.notes
+    );
+    assert_eq!(report.replayed, 0, "fresh journal has nothing to replay");
+    assert_equivalent(&live, &restored, "after restore");
+
+    // The restored verifier is not a dead copy: the same churn applied
+    // to both sides must keep them in lockstep, reports included.
+    for i in 0..4 {
+        let cmd = Cmd::ToggleIface { dev: i * 3 + 1, iface: i };
+        let Some(cs) = to_changeset(&cmd, &live) else { continue };
+        let live_report = live.apply_change(&cs).expect("live change verifies");
+        let restored_report = restored.apply_change(&cs).expect("restored change verifies");
+        // Timings aside, the incremental reports must agree field for
+        // field: both sides saw the same deltas through every stage.
+        let shape = |r: &realconfig::ChangeReport| {
+            (
+                (r.lines_inserted, r.lines_deleted, r.fact_changes),
+                (r.rules_inserted, r.rules_removed),
+                (r.ec_moves, r.ec_splits, r.affected_ecs),
+                (r.affected_pairs, r.changed_pairs, r.total_pairs, r.policies_checked),
+                (r.newly_violated.clone(), r.newly_satisfied.clone(), r.warnings.clone()),
+            )
+        };
+        assert_eq!(
+            shape(&live_report),
+            shape(&restored_report),
+            "change {i}: incremental reports diverged after restore"
+        );
+        assert_equivalent(&live, &restored, &format!("after change {i}"));
+    }
+}
+
+#[test]
+fn snapshot_roundtrip_is_lossless_on_the_bdd_backend() {
+    roundtrip_on(PredKind::Bdd);
+}
+
+#[test]
+fn snapshot_roundtrip_is_lossless_on_the_atoms_backend() {
+    roundtrip_on(PredKind::Atoms);
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0usize..16, 0usize..4).prop_map(|(dev, iface)| Cmd::ToggleIface { dev, iface }),
+            2 => (0usize..16, 0usize..4, prop_oneof![Just(1u32), Just(100)])
+                .prop_map(|(dev, iface, cost)| Cmd::SetCost { dev, iface, cost }),
+            1 => (0usize..16, 0u32..6).prop_map(|(dev, pfx)| Cmd::StaticDrop { dev, pfx }),
+            1 => (0usize..16, 0u32..6).prop_map(|(dev, pfx)| Cmd::UnStatic { dev, pfx }),
+        ],
+        1..8,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// For ANY churn stream and ANY split point: snapshot after the
+    /// prefix, journal the suffix, and a restore (snapshot + replay)
+    /// must equal the live verifier that never went down — on either
+    /// predicate backend.
+    #[test]
+    fn restore_replays_any_churn_split_losslessly(
+        cmds in arb_cmds(),
+        split_seed in 0usize..64,
+        atoms in any::<bool>(),
+    ) {
+        let backend = if atoms { PredKind::Atoms } else { PredKind::Bdd };
+        let configs = build_configs(&ring(5), ProtocolChoice::Ospf);
+        let (mut live, _) =
+            RealConfig::with_order_backend(configs.clone(), UpdateOrder::InsertFirst, backend)
+                .expect("ring verifies");
+        standing_policies(&mut live);
+
+        let dir = StateDir::new("prop");
+        live.attach_state_dir(&dir.0).expect("state dir creatable");
+
+        // Commits before `split` land only in the snapshot; commits
+        // after it land only in the journal.
+        let split = split_seed % (cmds.len() + 1);
+        let mut journaled = 0usize;
+        for (i, cmd) in cmds.iter().enumerate() {
+            if i == split {
+                live.save_snapshot().expect("snapshot writes");
+            }
+            let Some(cs) = to_changeset(cmd, &live) else { continue };
+            match live.apply_change(&cs) {
+                Ok(_) => {
+                    if i >= split {
+                        journaled += 1;
+                    }
+                }
+                // Divergence poisoning is covered by its own suite;
+                // this property is about fault-free round-trips.
+                Err(_) if live.needs_rebuild() => return,
+                Err(_) => {}
+            }
+        }
+        if split == cmds.len() {
+            live.save_snapshot().expect("snapshot writes");
+        }
+
+        let (restored, report) =
+            RealConfig::open(&dir.0, configs).expect("restore never refuses to start");
+        prop_assert!(
+            matches!(report.source, RestoreSource::Snapshot { .. }),
+            "expected a snapshot restore, got {:?} (notes: {:?})",
+            report.source,
+            report.notes
+        );
+        prop_assert_eq!(report.replayed, journaled, "replay covers exactly the journaled suffix");
+        prop_assert_eq!(report.discarded_corrupt, 0, "fault-free journal has no corrupt records");
+        assert_equivalent(&live, &restored, "after split restore");
+    }
+}
