@@ -104,6 +104,28 @@ pub enum UpdateOrder {
     AsGiven,
 }
 
+impl UpdateOrder {
+    /// Short display label matching the paper's notation.
+    pub fn label(self) -> &'static str {
+        match self {
+            UpdateOrder::InsertFirst => "+,-",
+            UpdateOrder::DeleteFirst => "-,+",
+            UpdateOrder::AsGiven => "as-given",
+        }
+    }
+
+    /// Parse a CLI/bench spelling of an order. Accepts the paper's
+    /// `+,-` / `-,+` notation and the word forms.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "+,-" | "insert-first" => Some(UpdateOrder::InsertFirst),
+            "-,+" | "delete-first" => Some(UpdateOrder::DeleteFirst),
+            "as-given" => Some(UpdateOrder::AsGiven),
+            _ => None,
+        }
+    }
+}
+
 /// An EC whose treatment changed somewhere during a batch: net change
 /// from the pre-batch port action to the post-batch one.
 #[derive(Clone, PartialEq, Eq, Debug)]

@@ -15,11 +15,9 @@
 
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rc_netcfg::gen::ProtocolChoice;
-use realconfig::{ChangeOp, ChangeSet, RealConfig};
-use realconfig_bench::Workload;
+use realconfig::RealConfig;
+use realconfig_bench::{stream, Workload};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -92,33 +90,19 @@ fn run_stream(
 ) -> ChurnResult {
     let (mut rc, _) = RealConfig::new(w.configs.clone()).expect("verifies");
     rc.set_auto_compact(if compacting { Some(1) } else { None });
-    let mut rng = StdRng::seed_from_u64(seed);
-    let ports = w.sample_ports(w.topo.num_links(), seed);
     let mut lat: Vec<Duration> = Vec::with_capacity(changes);
-    // Track which interfaces are currently down so the stream stays
-    // meaningful (fail only up links, restore only down ones).
-    let mut down: Vec<(String, String)> = Vec::new();
-
-    for i in 0..changes {
-        let cs = if !down.is_empty() && (rng.gen_bool(0.5) || down.len() > 5) {
-            let (dev, iface) = down.swap_remove(rng.gen_range(0..down.len()));
-            ChangeSet { ops: vec![ChangeOp::EnableInterface { device: dev, iface }] }
-        } else {
-            let (dev, iface) = ports[rng.gen_range(0..ports.len())].clone();
-            if down.iter().any(|(d, i)| *d == dev && *i == iface) {
-                continue;
-            }
-            down.push((dev.clone(), iface.clone()));
-            ChangeSet::link_failure(&dev, &iface)
-        };
+    // The shared uniform-churn generator: stateful link fail/restore
+    // (fail only up links, restore only down ones), same stream the
+    // `throughput` bin feeds its ingest queue.
+    for (i, cs) in stream::uniform_churn(w, changes, seed).iter().enumerate() {
         if fault_every > 0 && i % fault_every == 0 {
             let _guard = rotating_fault(i / fault_every);
             let t = Instant::now();
-            rc.apply_change_or_rebuild(&cs).expect("self-heals");
+            rc.apply_change_or_rebuild(cs).expect("self-heals");
             lat.push(t.elapsed());
         } else {
             let t = Instant::now();
-            rc.apply_change(&cs).expect("verifies");
+            rc.apply_change(cs).expect("verifies");
             lat.push(t.elapsed());
         }
     }

@@ -14,6 +14,8 @@
 //! affected, insertion-first beating deletion-first, policy checking on
 //! a few percent of pairs.
 
+pub mod stream;
+
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,192 @@
+//! Change-stream and arrival-profile generators shared by the `churn`
+//! and `throughput` benchmark binaries.
+//!
+//! Two stream *shapes* (what changes happen) and two arrival *profiles*
+//! (when they happen):
+//!
+//! - [`uniform_churn`]: the long-running maintenance stream — random
+//!   link fail/restore events, stateful so it only fails up links and
+//!   only restores down ones.
+//! - [`maintenance_bursts`]: clustered maintenance windows — a link
+//!   group taken down and brought back up (the folded burst is a net
+//!   no-op), alternating with rule-swap storms where a cost or
+//!   local-pref value flip-flops and only the last write matters. This
+//!   is the workload batch coalescing exists for.
+//! - [`poisson_arrivals`]: memoryless arrivals with a given mean gap.
+//! - [`burst_arrivals`]: near-simultaneous arrivals inside each window,
+//!   long gaps between windows.
+//!
+//! All generators are seeded and deterministic: the same `(workload,
+//! seed)` produces the same stream on every machine, which is what lets
+//! CI gate the throughput harness's final state against a committed
+//! baseline.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rc_netcfg::gen::ProtocolChoice;
+use rc_netcfg::{ChangeOp, ChangeSet};
+
+use crate::Workload;
+
+/// Stateful uniform churn: `changes` link fail/restore events, failing
+/// only currently-up links and restoring only currently-down ones (so
+/// every event is a real configuration change).
+pub fn uniform_churn(w: &Workload, changes: usize, seed: u64) -> Vec<ChangeSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ports = w.sample_ports(w.topo.num_links(), seed);
+    let mut down: Vec<(String, String)> = Vec::new();
+    let mut out = Vec::with_capacity(changes);
+    while out.len() < changes {
+        if !down.is_empty() && (rng.gen_bool(0.5) || down.len() > 5) {
+            let (dev, iface) = down.swap_remove(rng.gen_range(0..down.len()));
+            out.push(ChangeSet {
+                ops: vec![ChangeOp::EnableInterface { device: dev, iface }],
+            });
+        } else {
+            let (dev, iface) = ports[rng.gen_range(0..ports.len())].clone();
+            if down.iter().any(|(d, i)| *d == dev && *i == iface) {
+                continue;
+            }
+            down.push((dev.clone(), iface.clone()));
+            out.push(ChangeSet::link_failure(&dev, &iface));
+        }
+    }
+    out
+}
+
+/// Maintenance windows: `windows` bursts of changes, each targeting one
+/// device's link group. Even windows bounce the group (every interface
+/// down, then every interface up — coalescing folds the burst to a net
+/// no-op); odd windows are rule-swap storms (the group's OSPF cost, or
+/// local-pref under BGP, flip-flops several times — only the last write
+/// per interface survives folding). RIP has neither knob, so all its
+/// windows bounce.
+///
+/// Returns one `Vec<ChangeSet>` per window, preserving window
+/// boundaries so [`burst_arrivals`] can cluster arrival times.
+pub fn maintenance_bursts(w: &Workload, windows: usize, seed: u64) -> Vec<Vec<ChangeSet>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ports = w.sample_ports(w.topo.num_links(), seed ^ 0xB0057);
+    let mut by_dev: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (dev, iface) in &ports {
+        by_dev.entry(dev.clone()).or_default().push(iface.clone());
+    }
+    let devices: Vec<(String, Vec<String>)> = by_dev.into_iter().collect();
+    let mut out = Vec::with_capacity(windows);
+    for win in 0..windows {
+        let (dev, ifaces) = &devices[rng.gen_range(0..devices.len())];
+        let group: Vec<&String> = ifaces.iter().take(4).collect();
+        let mut burst = Vec::new();
+        let storm = win % 2 == 1 && w.proto != ProtocolChoice::Rip;
+        if storm {
+            let flips = 3 + rng.gen_range(0..3usize);
+            for flip in 0..flips {
+                for iface in &group {
+                    let v = if flip % 2 == 0 { 100 } else { 1 };
+                    burst.push(match w.proto {
+                        ProtocolChoice::Bgp => ChangeSet::local_pref(dev, iface, 100 + v),
+                        _ => ChangeSet::link_cost(dev, iface, v),
+                    });
+                }
+            }
+        } else {
+            for iface in &group {
+                burst.push(ChangeSet::link_failure(dev, iface));
+            }
+            for iface in &group {
+                burst.push(ChangeSet {
+                    ops: vec![ChangeOp::EnableInterface {
+                        device: dev.clone(),
+                        iface: (*iface).clone(),
+                    }],
+                });
+            }
+        }
+        out.push(burst);
+    }
+    out
+}
+
+/// Poisson arrival times: `n` arrivals with exponentially distributed
+/// inter-arrival gaps of mean `mean_gap_us` microseconds, starting at 0.
+pub fn poisson_arrivals(n: usize, mean_gap_us: f64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0f64;
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            t += -u.ln() * mean_gap_us;
+            t as u64
+        })
+        .collect()
+}
+
+/// Clustered arrival times for bursts of the given sizes: changes
+/// inside a burst arrive `intra_us` apart, consecutive bursts are
+/// separated by a `gap_us` quiet period.
+pub fn burst_arrivals(burst_sizes: &[usize], intra_us: u64, gap_us: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(burst_sizes.iter().sum());
+    let mut t = 0u64;
+    for (bi, &n) in burst_sizes.iter().enumerate() {
+        if bi > 0 {
+            t += gap_us;
+        }
+        for j in 0..n {
+            out.push(t + j as u64 * intra_us);
+        }
+        t += n.saturating_sub(1) as u64 * intra_us;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_churn_is_deterministic_and_applies() {
+        let w = Workload::fat_tree(4, ProtocolChoice::Ospf);
+        let a = uniform_churn(&w, 30, 7);
+        let b = uniform_churn(&w, 30, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 30);
+        let mut cfgs = w.configs.clone();
+        for cs in &a {
+            cs.apply(&mut cfgs).expect("every churn event applies");
+        }
+    }
+
+    #[test]
+    fn maintenance_bursts_apply_and_bounce_windows_cancel() {
+        let w = Workload::fat_tree(4, ProtocolChoice::Ospf);
+        let bursts = maintenance_bursts(&w, 6, 11);
+        assert_eq!(bursts.len(), 6);
+        let mut cfgs = w.configs.clone();
+        for burst in &bursts {
+            for cs in burst {
+                cs.apply(&mut cfgs).expect("every window change applies");
+            }
+        }
+        // A bounce window (even index) folds to a net no-op.
+        let before = w.configs.clone();
+        let (folded, cancelled) = ChangeSet::coalesce(&bursts[0]);
+        assert!(cancelled > 0);
+        let mut after = before.clone();
+        folded.apply(&mut after).unwrap();
+        assert_eq!(before, after, "down-then-up window must cancel out");
+    }
+
+    #[test]
+    fn arrival_profiles_are_sorted() {
+        let p = poisson_arrivals(50, 300.0, 3);
+        assert_eq!(p.len(), 50);
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+        let b = burst_arrivals(&[4, 8, 2], 1, 10_000);
+        assert_eq!(b.len(), 14);
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        // The inter-burst gap dominates the intra-burst spacing.
+        assert!(b[4] - b[3] >= 10_000);
+    }
+}

@@ -57,12 +57,18 @@ mod verifier;
 pub use report::{ChangeReport, FullReport};
 pub use trace::{HopAction, PacketTrace, TraceHop};
 pub use verifier::{
-    full_dataplane_baseline, full_dataplane_realconfig, Error, RealConfig, RestoreReport,
-    RestoreSource, DEFAULT_AUTO_COMPACT,
+    full_dataplane_baseline, full_dataplane_realconfig, ChangeQueue, CoalescePolicy, Error,
+    RealConfig, RestoreReport, RestoreSource, StreamReport, DEFAULT_AUTO_COMPACT,
 };
+
+// Compaction policy for `RealConfig::set_adaptive_compact`.
+pub use rc_dataflow::CompactionPolicy;
 
 // Packet type used by `RealConfig::trace_packet`.
 pub use rc_bdd::pkt::Packet;
+
+// FIB entry type returned by `RealConfig::fib`.
+pub use rc_routing::route::FibEntry;
 
 // Re-export the pieces a downstream user needs to drive the verifier.
 // `set_threads`/`threads` are the process-global worker-count knob for

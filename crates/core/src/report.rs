@@ -82,6 +82,18 @@ pub struct ChangeReport {
     pub newly_violated: Vec<u32>,
     pub newly_satisfied: Vec<u32>,
 
+    /// Number of pending changes this apply coalesced into one
+    /// transaction (0 when the change came through the one-at-a-time
+    /// path, see `RealConfig::apply_coalesced`).
+    pub coalesced_changes: usize,
+    /// Operations the coalescer cancelled as superseded writes
+    /// (last-writer-wins folding of set-type operations).
+    pub cancelled_ops: usize,
+    /// True when a coalesced burst folded to a net no-op: the
+    /// configurations were unchanged, so the pipeline (and the journal)
+    /// were skipped entirely.
+    pub coalesced_noop: bool,
+
     /// New lowering warnings introduced by this change.
     pub warnings: Vec<String>,
     /// True when the incremental path failed and this change was

@@ -20,7 +20,9 @@ use crate::convert::{filter_rule, FibGrouper};
 use crate::report::{ChangeReport, FullReport};
 
 mod persist;
+mod queue;
 pub use persist::{RestoreReport, RestoreSource};
+pub use queue::{ChangeQueue, CoalescePolicy, StreamReport};
 
 /// Verifier errors.
 ///
@@ -120,6 +122,11 @@ pub struct RealConfig {
     /// Compact engine history every this many changes (None: never).
     auto_compact: Option<u32>,
     changes_since_compact: u32,
+    /// Threshold-driven compaction: when set, engine history is folded
+    /// only on operators whose recent trace layer outgrew the policy's
+    /// ratio of their base — instead of the count-based sweep above.
+    /// Survives rebuilds (it is a RealConfig field, not engine state).
+    adaptive_compact: Option<rc_dataflow::CompactionPolicy>,
     /// Shared metric registry for all three pipeline stages.
     telemetry: rc_telemetry::Telemetry,
     /// Set when a failure may have left the incremental engines holding
@@ -186,6 +193,7 @@ impl RealConfig {
             threads: None,
             auto_compact: Some(DEFAULT_AUTO_COMPACT),
             changes_since_compact: 0,
+            adaptive_compact: None,
             telemetry: rc_telemetry::Telemetry::new(),
             poisoned: false,
             store: None,
@@ -413,11 +421,18 @@ impl RealConfig {
         report.newly_violated = check.newly_violated.iter().map(|p| p.0).collect();
         report.newly_satisfied = check.newly_satisfied.iter().map(|p| p.0).collect();
 
-        // Periodic history compaction keeps long change streams flat
-        // (see the `churn` benchmark). Still pre-commit: a failure here
-        // must not leave new configs committed.
+        // History compaction keeps long change streams flat (see the
+        // `churn` and `throughput` benchmarks). Threshold-driven when an
+        // adaptive policy is set (compact only operators whose recent
+        // layer outgrew their base), count-based otherwise. Still
+        // pre-commit: a failure here must not leave new configs
+        // committed.
         self.changes_since_compact += 1;
-        if let Some(every) = self.auto_compact {
+        if let Some(policy) = self.adaptive_compact {
+            if self.engine.compact_adaptive(&policy) > 0 {
+                self.changes_since_compact = 0;
+            }
+        } else if let Some(every) = self.auto_compact {
             if self.changes_since_compact >= every {
                 self.engine.compact();
                 self.changes_since_compact = 0;
@@ -773,6 +788,12 @@ impl RealConfig {
         self.grouper.len()
     }
 
+    /// Records currently retained in the dataflow engine's trace
+    /// spines (base + recent layers) — the quantity compaction bounds.
+    pub fn trace_records(&self) -> usize {
+        self.engine.trace_records()
+    }
+
     /// Compact the incremental engine's internal history (bounds memory
     /// over long change sequences; behaviour is unaffected). Also
     /// happens automatically — see [`RealConfig::set_auto_compact`].
@@ -783,9 +804,22 @@ impl RealConfig {
 
     /// Configure automatic history compaction: fold engine history
     /// after every `interval` changes, or never (`None`). The default
-    /// is [`DEFAULT_AUTO_COMPACT`].
+    /// is [`DEFAULT_AUTO_COMPACT`]. Ignored while an adaptive policy is
+    /// installed (see [`RealConfig::set_adaptive_compact`]).
     pub fn set_auto_compact(&mut self, interval: Option<u32>) {
         self.auto_compact = interval;
+    }
+
+    /// Install (or with `None` remove) a threshold-driven compaction
+    /// policy: after each change, engine history is folded only on
+    /// operators whose recent trace layer exceeds the policy's ratio of
+    /// their consolidated base — so sustained churn pays for compaction
+    /// when lookups would degrade, not on a fixed schedule. While set,
+    /// this replaces the count-based [`RealConfig::set_auto_compact`]
+    /// sweep. Behaviour (FIBs, verdicts) is identical either way; the
+    /// setting survives [`RealConfig::rebuild`].
+    pub fn set_adaptive_compact(&mut self, policy: Option<rc_dataflow::CompactionPolicy>) {
+        self.adaptive_compact = policy;
     }
 
     /// Enable/disable the EC model's dst-interval candidate index

@@ -391,6 +391,21 @@ impl RealConfig {
         state_dir: &Path,
         fallback: BTreeMap<String, DeviceConfig>,
     ) -> Result<(Self, RestoreReport), Error> {
+        Self::open_opts(state_dir, fallback, false)
+    }
+
+    /// [`RealConfig::open`] with restore options. With
+    /// `coalesce_replay`, the journal's records are folded into their
+    /// net config delta and verified as **one** incremental apply
+    /// instead of one per record — the restore-time analogue of
+    /// [`RealConfig::apply_coalesced`], and the fast path when a crash
+    /// interrupted a long change stream. The committed state reached is
+    /// identical; only intermediate states are skipped.
+    pub fn open_opts(
+        state_dir: &Path,
+        fallback: BTreeMap<String, DeviceConfig>,
+        coalesce_replay: bool,
+    ) -> Result<(Self, RestoreReport), Error> {
         let t0 = Instant::now();
         let mut report = RestoreReport {
             source: RestoreSource::ColdStart,
@@ -420,7 +435,8 @@ impl RealConfig {
             };
             let mut journal_clean = false;
             if rank == 0 {
-                journal_clean = rc.replay_journal(state_dir, *seq, &mut report);
+                journal_clean =
+                    rc.replay_journal(state_dir, *seq, coalesce_replay, &mut report);
                 report.source = RestoreSource::Snapshot { seq: *seq };
             } else {
                 report.source = RestoreSource::PreviousSnapshot { seq: *seq };
@@ -629,6 +645,7 @@ impl RealConfig {
             threads: None,
             auto_compact,
             changes_since_compact: 0,
+            adaptive_compact: None,
             telemetry,
             poisoned: false,
             store: None,
@@ -644,6 +661,7 @@ impl RealConfig {
         &mut self,
         dir: &Path,
         snapshot_seq: u64,
+        coalesce: bool,
         report: &mut RestoreReport,
     ) -> bool {
         let path = journal_path(dir);
@@ -674,6 +692,48 @@ impl RealConfig {
             clean = false;
         }
         let total = jr.records.len();
+        if coalesce {
+            // Fold every record's config delta into the net transition
+            // and verify it as one incremental apply. Decode failures
+            // truncate to the clean prefix, exactly as serial replay.
+            let mut new_configs = self.configs.clone();
+            let mut folded = 0usize;
+            for (i, record) in jr.records.iter().enumerate() {
+                match decode_delta(record) {
+                    Ok((upserts, removes)) => {
+                        for (name, cfg) in upserts {
+                            new_configs.insert(name, cfg);
+                        }
+                        for name in &removes {
+                            new_configs.remove(name);
+                        }
+                        folded += 1;
+                    }
+                    Err(e) => {
+                        report.discarded_corrupt += total - i;
+                        report.notes.push(format!("journal record {i} corrupt: {e}"));
+                        clean = false;
+                        break;
+                    }
+                }
+            }
+            if folded == 0 {
+                return clean;
+            }
+            if let Err(e) = self.apply_configs(new_configs) {
+                report.discarded_corrupt += folded;
+                report
+                    .notes
+                    .push(format!("coalesced replay of {folded} records failed: {e}"));
+                if self.poisoned {
+                    let _ = self.rebuild();
+                }
+                return false;
+            }
+            report.replayed += folded;
+            report.notes.push(format!("journal coalesced: {folded} records, one apply"));
+            return clean;
+        }
         for (i, record) in jr.records.into_iter().enumerate() {
             let (upserts, removes) = match decode_delta(&record) {
                 Ok(d) => d,

@@ -1,0 +1,305 @@
+//! Ingest queue and adaptive batch coalescing: absorb a burst of
+//! pending configuration changes and verify it as one transactional
+//! apply.
+//!
+//! The paper's pitch is keeping verification *ahead of the arrival
+//! rate* of changes. One-at-a-time application pays the full
+//! three-stage pipeline per change; under a burst (a maintenance
+//! window, a flapping link group) the queue deepens faster than the
+//! pipeline drains it. Coalescing folds the pending burst into one
+//! [`ChangeSet`] — superseded writes cancel, a down-then-up link pair
+//! nets out entirely — and runs the pipeline once, so the cost of a
+//! burst approaches the cost of its *net* effect.
+//!
+//! Three layers:
+//!
+//! - [`ChangeSet::coalesce`] (in `rc_netcfg`): the pure folding rule.
+//! - [`RealConfig::apply_coalesced`]: fold + one transactional apply +
+//!   exactly one journal record (the rc_store prefix contract sees a
+//!   coalesced burst as a single committed change).
+//! - [`RealConfig::apply_stream`]: a virtual-clock ingest loop driving
+//!   [`ChangeQueue`] with depth- and age-based flush thresholds — the
+//!   future daemon's main loop, and the measurement harness for the
+//!   `throughput` benchmark today.
+//!
+//! Telemetry (`queue.*`, `coalesce.*`) is registered lazily inside
+//! these paths only: a verifier that never coalesces carries none of
+//! the keys, keeping committed gate baselines byte-identical.
+
+use std::collections::VecDeque;
+use std::time::Instant;
+
+use rc_netcfg::change::ChangeSet;
+use serde::Serialize;
+
+use super::{Error, RealConfig};
+use crate::report::ChangeReport;
+
+/// When a pending burst is flushed into one coalesced apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoalescePolicy {
+    /// Flush as soon as this many changes are pending.
+    pub max_depth: usize,
+    /// Flush when the oldest pending change has waited this long
+    /// (microseconds of stream time).
+    pub max_age_us: u64,
+    /// Never fold more than this many changes into one apply (bounds
+    /// worst-case batch latency).
+    pub max_batch: usize,
+}
+
+impl Default for CoalescePolicy {
+    fn default() -> Self {
+        CoalescePolicy { max_depth: 8, max_age_us: 2_000, max_batch: 256 }
+    }
+}
+
+impl CoalescePolicy {
+    /// The degenerate policy: every change is its own batch. Runs the
+    /// same code path as real coalescing, which is what makes the A/B
+    /// comparison in the `throughput` benchmark fair.
+    pub fn one_at_a_time() -> Self {
+        CoalescePolicy { max_depth: 1, max_age_us: 0, max_batch: 1 }
+    }
+}
+
+/// FIFO of pending configuration changes, stamped with arrival time
+/// (microseconds on the caller's clock — virtual in benchmarks).
+#[derive(Debug, Default)]
+pub struct ChangeQueue {
+    pending: VecDeque<(u64, ChangeSet)>,
+    max_depth_seen: usize,
+}
+
+impl ChangeQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a change that arrived at `arrival_us`.
+    pub fn push(&mut self, arrival_us: u64, cs: ChangeSet) {
+        self.pending.push_back((arrival_us, cs));
+        self.max_depth_seen = self.max_depth_seen.max(self.pending.len());
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn max_depth_seen(&self) -> usize {
+        self.max_depth_seen
+    }
+
+    /// Arrival time of the oldest pending change.
+    pub fn oldest_arrival(&self) -> Option<u64> {
+        self.pending.front().map(|(t, _)| *t)
+    }
+
+    /// Whether the policy demands a flush at time `now_us`.
+    pub fn due(&self, now_us: u64, policy: &CoalescePolicy) -> bool {
+        if self.pending.len() >= policy.max_depth {
+            return true;
+        }
+        match self.oldest_arrival() {
+            Some(t) => now_us.saturating_sub(t) >= policy.max_age_us,
+            None => false,
+        }
+    }
+
+    /// Dequeue up to `max` pending changes, oldest first.
+    pub fn drain(&mut self, max: usize) -> Vec<(u64, ChangeSet)> {
+        let n = self.pending.len().min(max.max(1));
+        self.pending.drain(..n).collect()
+    }
+}
+
+/// What one [`RealConfig::apply_stream`] run did, with enough raw data
+/// to compute sustained throughput and latency percentiles.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct StreamReport {
+    /// Changes that arrived on the stream.
+    pub arrivals: usize,
+    /// Transactional applies performed (excluding net no-op batches).
+    pub batches: usize,
+    /// Batches that folded to a net no-op and skipped the pipeline.
+    pub noop_batches: usize,
+    /// Operations cancelled by last-writer-wins folding, total.
+    pub cancelled_ops: usize,
+    /// Largest number of changes folded into one apply.
+    pub max_coalesced: usize,
+    /// Deepest the ingest queue got.
+    pub max_queue_depth: usize,
+    /// Total pipeline wall time (microseconds actually spent applying).
+    pub busy_us: u64,
+    /// Stream time from first arrival to last completion.
+    pub span_us: u64,
+    /// Per-change latency: completion of the batch that carried it
+    /// minus its arrival, microseconds.
+    pub latencies_us: Vec<u64>,
+}
+
+impl StreamReport {
+    /// Sustained throughput over the stream's span.
+    pub fn changes_per_sec(&self) -> f64 {
+        if self.span_us == 0 {
+            return 0.0;
+        }
+        self.arrivals as f64 * 1_000_000.0 / self.span_us as f64
+    }
+
+    /// Latency percentile (`p` in 0..=100) over all changes.
+    pub fn latency_percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+}
+
+impl RealConfig {
+    /// Fold a burst of pending changes into one transactional apply.
+    ///
+    /// The burst is coalesced with [`ChangeSet::coalesce`]
+    /// (last-writer-wins on set-type operations), applied to the
+    /// current configurations, and verified through the normal
+    /// [`RealConfig::apply_configs`] transaction — so the whole burst
+    /// commits or rolls back atomically and produces **exactly one**
+    /// checksummed journal record, keeping the rc_store journal a
+    /// prefix of committed states at batch granularity.
+    ///
+    /// A burst whose folded effect leaves the configurations unchanged
+    /// (a link group that went down and came back up) skips the
+    /// pipeline entirely: nothing to verify, nothing to journal.
+    ///
+    /// The report's `coalesced_changes` / `cancelled_ops` fields carry
+    /// the batch accounting; `coalesce.*` telemetry is registered on
+    /// first use only.
+    pub fn apply_coalesced(&mut self, burst: &[ChangeSet]) -> Result<ChangeReport, Error> {
+        if self.poisoned {
+            return Err(Error::Poisoned);
+        }
+        let (folded, cancelled) = ChangeSet::coalesce(burst);
+        let mut new_configs = self.configs.clone();
+        if let Err(e) = folded.apply(&mut new_configs) {
+            self.telemetry.counter("verifier.rollbacks").incr();
+            return Err(Error::Change(e));
+        }
+        let tel = self.telemetry.clone();
+        tel.counter("coalesce.batches").incr();
+        tel.counter("coalesce.changes").add(burst.len() as u64);
+        tel.histogram("coalesce.batch_size").record(burst.len() as u64);
+        if cancelled > 0 {
+            tel.counter("coalesce.cancelled_ops").add(cancelled as u64);
+        }
+        if new_configs == self.configs {
+            // Net no-op: the burst cancelled itself out.
+            tel.counter("coalesce.noop_batches").incr();
+            let report = ChangeReport {
+                coalesced_changes: burst.len(),
+                cancelled_ops: cancelled,
+                coalesced_noop: true,
+                metrics: self.telemetry.snapshot(),
+                ..Default::default()
+            };
+            return Ok(report);
+        }
+        let mut report = self.apply_configs(new_configs)?;
+        report.coalesced_changes = burst.len();
+        report.cancelled_ops = cancelled;
+        Ok(report)
+    }
+
+    /// Drive a timed stream of changes through an ingest queue with
+    /// adaptive batch coalescing, and measure sustained throughput.
+    ///
+    /// `arrivals` is `(arrival_us, change)` in nondecreasing arrival
+    /// order on a *virtual* microsecond clock. The loop is a discrete
+    /// event simulation: pending changes accumulate while an apply is
+    /// in flight (virtual time advances by the apply's measured wall
+    /// time), and the queue flushes when the policy's depth or age
+    /// threshold trips — so a burst that arrives faster than the
+    /// pipeline drains coalesces into progressively larger batches,
+    /// exactly as a live daemon would behave. Per-change latency is
+    /// completion of the carrying batch minus arrival.
+    ///
+    /// Errors abort the stream at the failing batch (the verifier
+    /// keeps the last committed state, per the transaction contract).
+    pub fn apply_stream(
+        &mut self,
+        arrivals: impl IntoIterator<Item = (u64, ChangeSet)>,
+        policy: &CoalescePolicy,
+    ) -> Result<StreamReport, Error> {
+        let mut stream: Vec<(u64, ChangeSet)> = arrivals.into_iter().collect();
+        stream.sort_by_key(|(t, _)| *t);
+        let tel = self.telemetry.clone();
+        let mut queue = ChangeQueue::new();
+        let mut report = StreamReport { arrivals: stream.len(), ..Default::default() };
+        let mut now_us: u64 = stream.first().map(|(t, _)| *t).unwrap_or(0);
+        let start_us = now_us;
+        let mut next = 0usize;
+
+        while next < stream.len() || !queue.is_empty() {
+            // Admit everything that has arrived by virtual `now`.
+            while next < stream.len() && stream[next].0 <= now_us {
+                let (t, cs) = stream[next].clone();
+                queue.push(t, cs);
+                next += 1;
+                tel.counter("queue.enqueued").incr();
+            }
+            // Flush when the policy trips — or unconditionally once the
+            // stream is exhausted (nothing left to wait for).
+            let exhausted = next >= stream.len();
+            if !queue.is_empty() && (exhausted || queue.due(now_us, policy)) {
+                if queue.len() >= policy.max_depth {
+                    tel.counter("queue.flush.depth").incr();
+                } else if !exhausted {
+                    tel.counter("queue.flush.age").incr();
+                } else {
+                    tel.counter("queue.flush.drain").incr();
+                }
+                tel.histogram("queue.depth").record(queue.len() as u64);
+                let batch = queue.drain(policy.max_batch);
+                let sets: Vec<ChangeSet> = batch.iter().map(|(_, cs)| cs.clone()).collect();
+                let t = Instant::now();
+                let applied = self.apply_coalesced(&sets)?;
+                let elapsed_us = t.elapsed().as_micros() as u64;
+                now_us += elapsed_us;
+                report.busy_us += elapsed_us;
+                if applied.coalesced_noop {
+                    report.noop_batches += 1;
+                } else {
+                    report.batches += 1;
+                }
+                report.cancelled_ops += applied.cancelled_ops;
+                report.max_coalesced = report.max_coalesced.max(sets.len());
+                for (arrived, _) in &batch {
+                    report.latencies_us.push(now_us.saturating_sub(*arrived));
+                }
+                continue;
+            }
+            // Idle: advance virtual time to the next event — the next
+            // arrival or the oldest pending change's age deadline.
+            let deadline = queue
+                .oldest_arrival()
+                .map(|t| t.saturating_add(policy.max_age_us));
+            let next_arrival = (!exhausted).then(|| stream[next].0);
+            match (deadline, next_arrival) {
+                (Some(d), Some(a)) => now_us = now_us.max(d.min(a)),
+                (Some(d), None) => now_us = now_us.max(d),
+                (None, Some(a)) => now_us = now_us.max(a),
+                (None, None) => break,
+            }
+        }
+        report.max_queue_depth = queue.max_depth_seen();
+        report.span_us = now_us.saturating_sub(start_us);
+        Ok(report)
+    }
+}

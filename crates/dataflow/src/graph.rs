@@ -309,6 +309,14 @@ pub(crate) trait OpNode {
     /// Fold history at epochs `≤ frontier` down to epoch 0.
     fn compact(&mut self, frontier: u64);
 
+    /// `(base, recent)` trace record counts across this node's keyed
+    /// traces (a scope sums its children). Stateless operators report
+    /// `(0, 0)`. Drives threshold-triggered compaction: the recent
+    /// layer is the part compaction folds away.
+    fn trace_sizes(&self) -> (usize, usize) {
+        (0, 0)
+    }
+
     /// Cumulative count of records processed (a machine-independent
     /// work measure reported by the benchmarks).
     fn work(&self) -> u64;
@@ -401,6 +409,36 @@ impl GraphState {
     }
 }
 
+/// When threshold-triggered compaction fires on an operator's traces.
+///
+/// Compacting once per round keeps resident memory minimal but pays the
+/// full spine-merge cost on every change; never compacting lets the
+/// recent layer grow without bound under sustained churn. The policy
+/// compacts an operator only when its recent layer both exceeds
+/// `min_recent` records (small spines are never worth a merge) and has
+/// grown past `ratio` × the consolidated base layer — the point where
+/// lookups degrade and the merge amortizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompactionPolicy {
+    /// Compact when `recent > ratio * base`.
+    pub ratio: f64,
+    /// Never compact an operator whose recent layer is below this.
+    pub min_recent: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { ratio: 0.5, min_recent: 4096 }
+    }
+}
+
+impl CompactionPolicy {
+    /// Whether an operator with `(base, recent)` trace records is due.
+    pub fn due(&self, base: usize, recent: usize) -> bool {
+        recent >= self.min_recent && recent as f64 > self.ratio * base as f64
+    }
+}
+
 /// Statistics for one `advance` call.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EpochStats {
@@ -450,6 +488,17 @@ struct EngineTelemetry {
     shard_records: Option<Vec<rc_telemetry::Gauge>>,
     shard_dispatched_seen: u64,
     shard_inlined_seen: u64,
+    /// Threshold-compaction metrics, registered lazily on the first
+    /// adaptive trigger so runs that never cross a threshold carry no
+    /// `compact.trigger.*` keys.
+    compact_trigger: Option<CompactTriggerMetrics>,
+}
+
+/// Counters describing adaptive (threshold-triggered) compactions.
+struct CompactTriggerMetrics {
+    fired: rc_telemetry::Counter,
+    records_before: rc_telemetry::Counter,
+    records_after: rc_telemetry::Counter,
 }
 
 impl EngineTelemetry {
@@ -473,6 +522,7 @@ impl EngineTelemetry {
             shard_records: None,
             shard_dispatched_seen: 0,
             shard_inlined_seen: 0,
+            compact_trigger: None,
             registry,
         }
     }
@@ -668,5 +718,58 @@ impl Dataflow {
             tel.compact_after.add(after);
             tel.trace_records.set(after as i64);
         }
+    }
+
+    /// Records currently retained across all operator trace spines
+    /// (base + recent layers, including operators inside scopes).
+    pub fn trace_records(&self) -> usize {
+        self.state.borrow().stacks[0]
+            .iter()
+            .map(|n| {
+                let (base, recent) = n.trace_sizes();
+                base + recent
+            })
+            .sum()
+    }
+
+    /// Compact only the operators whose trace spines have crossed the
+    /// policy's recent-vs-base threshold, leaving small or already
+    /// consolidated traces untouched. Returns the number of operators
+    /// compacted. Sound between `advance` calls, like
+    /// [`Dataflow::compact`].
+    ///
+    /// Telemetry: the first trigger registers `compact.trigger.fired` /
+    /// `compact.trigger.records_before` / `compact.trigger.records_after`;
+    /// runs where no threshold is ever crossed carry none of these keys.
+    pub fn compact_adaptive(&mut self, policy: &CompactionPolicy) -> usize {
+        let mut st = self.state.borrow_mut();
+        let frontier = self.epoch;
+        let mut fired = 0usize;
+        let mut before = 0u64;
+        let mut after = 0u64;
+        for node in st.stacks[0].iter_mut() {
+            let (base, recent) = node.trace_sizes();
+            if !policy.due(base, recent) {
+                continue;
+            }
+            fired += 1;
+            before += (base + recent) as u64;
+            node.compact(frontier);
+            let (b, r) = node.trace_sizes();
+            after += (b + r) as u64;
+        }
+        if fired > 0 {
+            if let Some(tel) = &mut self.telemetry {
+                let m = tel.compact_trigger.get_or_insert_with(|| CompactTriggerMetrics {
+                    fired: tel.registry.counter("compact.trigger.fired"),
+                    records_before: tel.registry.counter("compact.trigger.records_before"),
+                    records_after: tel.registry.counter("compact.trigger.records_after"),
+                });
+                m.fired.add(fired as u64);
+                m.records_before.add(before);
+                m.records_after.add(after);
+            }
+        }
+        fired
     }
 }

@@ -208,6 +208,15 @@ impl<K: Data, V: Data, W: Data> OpNode for JoinNode<K, V, W> {
         }
     }
 
+    fn trace_sizes(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(b, r), s| {
+            (
+                b + s.trace_a.base_len() + s.trace_b.base_len(),
+                r + s.trace_a.recent_len() + s.trace_b.recent_len(),
+            )
+        })
+    }
+
     fn work(&self) -> u64 {
         self.work
     }

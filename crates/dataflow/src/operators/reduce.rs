@@ -260,6 +260,15 @@ impl<K: Data, V: Data, W: Data> OpNode for ReduceNode<K, V, W> {
         }
     }
 
+    fn trace_sizes(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(b, r), s| {
+            (
+                b + s.in_trace.base_len() + s.out_trace.base_len(),
+                r + s.in_trace.recent_len() + s.out_trace.recent_len(),
+            )
+        })
+    }
+
     fn work(&self) -> u64 {
         self.work
     }

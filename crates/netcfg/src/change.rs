@@ -142,6 +142,64 @@ impl ChangeSet {
         }
         Ok(())
     }
+
+    /// Fold a burst of change sets into one, cancelling superseded
+    /// writes: for *set-type* operations (interface admin state, OSPF
+    /// cost, local-pref, MED, ACL bindings) only the last write to a
+    /// target survives, in the position of the first. Add/remove
+    /// operations (static routes, ACL entries, BGP networks,
+    /// redistribution) are never folded — dropping an add that a later
+    /// remove undoes would change which sequences error — so they keep
+    /// their relative order. Returns the folded set and the number of
+    /// cancelled (superseded) operations.
+    ///
+    /// Folding is behaviour-preserving: same-key set-type operations
+    /// have identical error conditions, and no retained operation reads
+    /// state that a cancelled one writes, so applying the folded set
+    /// yields exactly the configurations — and exactly the success or
+    /// failure — of applying the originals in sequence.
+    pub fn coalesce(sets: &[ChangeSet]) -> (ChangeSet, usize) {
+        // Key: (op discriminant, device, iface, ACL direction).
+        let mut slot: BTreeMap<(u8, String, String, u8), usize> = BTreeMap::new();
+        let mut ops: Vec<ChangeOp> = Vec::new();
+        let mut cancelled = 0usize;
+        for op in sets.iter().flat_map(|s| s.ops.iter()) {
+            let key = match op {
+                ChangeOp::DisableInterface { device, iface }
+                | ChangeOp::EnableInterface { device, iface } => {
+                    Some((0, device.clone(), iface.clone(), 0))
+                }
+                ChangeOp::SetOspfCost { device, iface, .. } => {
+                    Some((1, device.clone(), iface.clone(), 0))
+                }
+                ChangeOp::SetLocalPref { device, iface, .. } => {
+                    Some((2, device.clone(), iface.clone(), 0))
+                }
+                ChangeOp::SetMed { device, iface, .. } => {
+                    Some((3, device.clone(), iface.clone(), 0))
+                }
+                ChangeOp::BindAcl { device, iface, dir, .. }
+                | ChangeOp::UnbindAcl { device, iface, dir } => {
+                    Some((4, device.clone(), iface.clone(), *dir as u8))
+                }
+                _ => None,
+            };
+            match key {
+                Some(k) => match slot.get(&k) {
+                    Some(&i) => {
+                        ops[i] = op.clone();
+                        cancelled += 1;
+                    }
+                    None => {
+                        slot.insert(k, ops.len());
+                        ops.push(op.clone());
+                    }
+                },
+                None => ops.push(op.clone()),
+            }
+        }
+        (ChangeSet { ops }, cancelled)
+    }
 }
 
 fn device<'a>(
@@ -435,6 +493,50 @@ mod tests {
         cs.apply(&mut cfgs).unwrap();
         assert!(cfgs["r000"].acl("BLOCK").unwrap().entries.is_empty());
         assert!(cfgs["r000"].interface("eth0").unwrap().acl_in.is_none());
+    }
+
+    #[test]
+    fn coalesce_folds_set_type_ops_last_writer_wins() {
+        let sets = vec![
+            ChangeSet::link_failure("r000", "eth0"),
+            ChangeSet::link_cost("r001", "eth0", 10),
+            ChangeSet { ops: vec![ChangeOp::EnableInterface { device: "r000".into(), iface: "eth0".into() }] },
+            ChangeSet::link_cost("r001", "eth0", 20),
+            ChangeSet::link_failure("r000", "eth1"),
+        ];
+        let (folded, cancelled) = ChangeSet::coalesce(&sets);
+        assert_eq!(cancelled, 2);
+        assert_eq!(
+            folded.ops,
+            vec![
+                ChangeOp::EnableInterface { device: "r000".into(), iface: "eth0".into() },
+                ChangeOp::SetOspfCost { device: "r001".into(), iface: "eth0".into(), cost: 20 },
+                ChangeOp::DisableInterface { device: "r000".into(), iface: "eth1".into() },
+            ]
+        );
+
+        // Applying the folded set equals applying the originals in turn.
+        let mut serial = build_configs(&ring(3), ProtocolChoice::Ospf);
+        for s in &sets {
+            s.apply(&mut serial).unwrap();
+        }
+        let mut coalesced = build_configs(&ring(3), ProtocolChoice::Ospf);
+        folded.apply(&mut coalesced).unwrap();
+        assert_eq!(serial, coalesced);
+    }
+
+    #[test]
+    fn coalesce_leaves_add_remove_ops_in_order() {
+        let p: Prefix = "172.20.0.0/24".parse().unwrap();
+        let sets = vec![ChangeSet {
+            ops: vec![
+                ChangeOp::AddStaticRoute { device: "r000".into(), prefix: p, next_hop: NextHop::Drop },
+                ChangeOp::RemoveStaticRoute { device: "r000".into(), prefix: p },
+            ],
+        }];
+        let (folded, cancelled) = ChangeSet::coalesce(&sets);
+        assert_eq!(cancelled, 0, "add/remove pairs must not be folded");
+        assert_eq!(folded.ops, sets[0].ops);
     }
 
     #[test]

@@ -479,4 +479,19 @@ impl RoutingEngine {
     pub fn compact(&mut self) {
         self.df.compact();
     }
+
+    /// Threshold-triggered compaction: fold history only on operators
+    /// whose recent trace layer has outgrown the policy's ratio of
+    /// their consolidated base (see
+    /// [`rc_dataflow::Dataflow::compact_adaptive`]). Returns the number
+    /// of operators compacted.
+    pub fn compact_adaptive(&mut self, policy: &rc_dataflow::CompactionPolicy) -> usize {
+        self.df.compact_adaptive(policy)
+    }
+
+    /// Records currently retained across the dataflow's trace spines
+    /// (base + recent layers).
+    pub fn trace_records(&self) -> usize {
+        self.df.trace_records()
+    }
 }

@@ -34,4 +34,4 @@ pub mod engine;
 pub mod route;
 
 pub use engine::{ApplyStats, RoutingEngine};
-pub use route::{BgpRoute, FibAction, FibDelta, FibEntry, FilterRule, RibValue};
+pub use route::{BgpRoute, FibAction, FibDelta, FibEntry, FilterRule, PathVec, RibValue};

@@ -1,7 +1,43 @@
 //! Route and FIB value types shared by the dataflow engine and the
 //! from-scratch baseline.
 
+use std::sync::Arc;
+
 use rc_netcfg::types::{IfaceId, NodeId, Prefix};
+
+/// An interned, immutable node path. BGP route values are the hottest
+/// tuples in the dataflow traces — every import clones the route into
+/// join and reduce spines — so the path is stored as a shared
+/// `Arc<[NodeId]>`: cloning a route bumps a refcount instead of
+/// reallocating a `Vec`, and every trace layer holding the same route
+/// shares one allocation. Comparison, ordering and hashing delegate to
+/// the slice, so route selection is unchanged.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathVec(Arc<[NodeId]>);
+
+impl PathVec {
+    /// The one-hop path of a locally originated route.
+    pub fn single(node: NodeId) -> Self {
+        PathVec(Arc::from([node]))
+    }
+
+    /// A new path extending `self` by one hop. The only allocation an
+    /// import performs.
+    pub fn appending(&self, node: NodeId) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(node);
+        PathVec(v.into())
+    }
+}
+
+impl std::ops::Deref for PathVec {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        &self.0
+    }
+}
 
 /// What a FIB entry does with a matching packet.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -47,7 +83,7 @@ pub struct RibValue {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BgpRoute {
     pub score: (u32, u32, u32, u32),
-    pub path: Vec<NodeId>,
+    pub path: PathVec,
     /// The local session interface the route was learned through;
     /// `None` for locally originated routes.
     pub out: Option<IfaceId>,
@@ -63,7 +99,7 @@ impl BgpRoute {
     pub fn originate(node: NodeId) -> Self {
         BgpRoute {
             score: (u32::MAX - Self::DEFAULT_LOCAL_PREF, 1, Self::DEFAULT_MED, 0),
-            path: vec![node],
+            path: PathVec::single(node),
             out: None,
         }
     }
@@ -81,9 +117,7 @@ impl BgpRoute {
         local_pref: u32,
         med: u32,
     ) -> Self {
-        let mut path = Vec::with_capacity(self.path.len() + 1);
-        path.extend_from_slice(&self.path);
-        path.push(node);
+        let path = self.path.appending(node);
         BgpRoute {
             score: (u32::MAX - local_pref, path.len() as u32, med, peer.0),
             path,
@@ -164,7 +198,7 @@ mod tests {
     fn import_tracks_path() {
         let o = BgpRoute::originate(NodeId(5));
         let r = o.import(NodeId(1), NodeId(5), IfaceId(2), 100, 0);
-        assert_eq!(r.path, vec![NodeId(5), NodeId(1)]);
+        assert_eq!(&r.path[..], [NodeId(5), NodeId(1)]);
         assert_eq!(r.out, Some(IfaceId(2)));
         assert!(r.path.contains(&NodeId(5)), "loop check data present");
     }

@@ -153,6 +153,95 @@ fn every_store_fault_point_recovers_to_the_twin() {
     assert_eq!(reopened.fib(), expected_fib, "clean reopen lost state");
 }
 
+/// A burst that exercises folding (one superseded write) without
+/// netting out to a no-op.
+fn sample_burst() -> Vec<realconfig::ChangeSet> {
+    use realconfig::ChangeSet;
+    vec![
+        ChangeSet::link_cost("r000", "eth0", 50),
+        ChangeSet::link_cost("r000", "eth0", 100),
+        ChangeSet::link_failure("r001", "eth0"),
+        ChangeSet::link_cost("r002", "eth1", 77),
+    ]
+}
+
+/// A crash right after a coalesced commit: the whole burst must be ONE
+/// checksummed journal record, and both replay modes (one apply per
+/// record, coalesced) must reopen to the committed post-burst state.
+#[test]
+fn crash_mid_burst_replays_single_coalesced_record() {
+    let configs = build_configs(&ring(5), ProtocolChoice::Ospf);
+    let dir = StateDir::new("burst");
+    let (mut rc, _) = RealConfig::new(configs).expect("ring verifies");
+    standing_policies(&mut rc);
+    rc.attach_state_dir(&dir.0).expect("state dir creatable");
+    rc.save_snapshot().expect("initial snapshot writes");
+    let pre_burst = rc.configs().clone();
+
+    let burst = sample_burst();
+    let report = rc.apply_coalesced(&burst).expect("burst verifies");
+    assert_eq!(report.coalesced_changes, burst.len());
+    assert_eq!(report.cancelled_ops, 1, "the superseded cost write folds away");
+    let committed = rc.configs().clone();
+    let expected_fib = rc.fib();
+    drop(rc); // crash: no shutdown path
+
+    // The fallback is the PRE-burst configs: reaching the post-burst
+    // state proves the journal record carried the burst, not the
+    // bottom-rung rebuild.
+    for coalesce_replay in [false, true] {
+        let (mut reopened, report) =
+            RealConfig::open_opts(&dir.0, pre_burst.clone(), coalesce_replay)
+                .expect("reopen after crash mid-burst");
+        assert_eq!(
+            report.replayed, 1,
+            "a coalesced commit is exactly one journal record (coalesce={coalesce_replay})"
+        );
+        assert_eq!(
+            reopened.configs(),
+            &committed,
+            "reopen (coalesce={coalesce_replay}) lost the burst"
+        );
+        assert_eq!(reopened.fib(), expected_fib, "FIB diverged (coalesce={coalesce_replay})");
+        assert_matches_twin(&mut reopened, &format!("crash mid-burst (coalesce={coalesce_replay})"));
+    }
+}
+
+/// A journal append torn mid-burst: the burst still commits in memory
+/// (durability degrades, verification does not), and a subsequent crash
+/// reopens to the pre-burst snapshot — the torn record is discarded
+/// whole, never half-applied.
+#[test]
+fn torn_append_mid_burst_reopens_to_pre_burst_state() {
+    let configs = build_configs(&ring(5), ProtocolChoice::Ospf);
+    let dir = StateDir::new("torn-burst");
+    let (mut rc, _) = RealConfig::new(configs).expect("ring verifies");
+    standing_policies(&mut rc);
+    rc.attach_state_dir(&dir.0).expect("state dir creatable");
+    rc.save_snapshot().expect("initial snapshot writes");
+    let pre_burst = rc.configs().clone();
+    let pre_fib = rc.fib();
+
+    let guard = FaultPlan::new().error_on(FaultPoint::StorePartialAppend, 1).install();
+    let report = rc.apply_coalesced(&sample_burst());
+    drop(guard);
+    let report = report.expect("burst verifies in memory despite the torn append");
+    assert_eq!(report.coalesced_changes, 4);
+    assert!(!rc.needs_rebuild(), "journal failure must not poison the verifier");
+    drop(rc); // crash
+
+    let (mut reopened, report) =
+        RealConfig::open(&dir.0, pre_burst.clone()).expect("reopen after torn append");
+    assert_eq!(report.replayed, 0, "the torn record must not replay");
+    assert_eq!(
+        reopened.configs(),
+        &pre_burst,
+        "a torn coalesced record is discarded whole (all-or-nothing)"
+    );
+    assert_eq!(reopened.fib(), pre_fib);
+    assert_matches_twin(&mut reopened, "torn append mid-burst");
+}
+
 fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
     prop::collection::vec(
         prop_oneof![

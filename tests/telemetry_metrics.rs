@@ -66,6 +66,37 @@ fn compaction_records_before_and_after_trace_sizes() {
     assert!(after <= before, "compaction grew the traces: {after} > {before}");
 }
 
+/// Telemetry keys are registered lazily inside the paths that produce
+/// them: a verifier driven through plain applies and compaction — no
+/// ingest queue, no coalescing, no threshold trigger — must carry none
+/// of the `queue.*` / `coalesce.*` / `compact.trigger.*` keys, keeping
+/// committed gate baselines stable for runs that never batch.
+#[test]
+fn plain_runs_carry_no_batching_keys() {
+    let (mut rc, _) = build();
+    rc.apply_change(&ChangeSet::link_failure("r001", "eth1")).expect("verifies");
+    rc.compact();
+    let m = rc.metrics_snapshot();
+    let all_keys = m
+        .counters
+        .keys()
+        .chain(m.gauges.keys())
+        .chain(m.histograms.keys());
+    for key in all_keys {
+        for prefix in ["queue.", "coalesce.", "compact.trigger."] {
+            assert!(
+                !key.starts_with(prefix),
+                "plain run registered batching key {key:?}"
+            );
+        }
+    }
+
+    // The coalescing path registers its keys on first use.
+    rc.apply_coalesced(&[ChangeSet::link_failure("r002", "eth0")]).expect("verifies");
+    let m = rc.metrics_snapshot();
+    assert!(m.counters.contains_key("coalesce.batches"));
+}
+
 #[test]
 fn snapshot_serializes_to_json_with_stage_counters() {
     let (rc, _) = build();
